@@ -1,0 +1,56 @@
+// Ablation A2: adaptive prefetching (§3.1.4) on/off for concurrent restart.
+// With many instances booting from snapshots that share most content, the
+// first instance to touch a chunk pushes it to the others; disabling the
+// prefetch bus forces every instance to fetch everything on demand.
+#include "bench_common.h"
+
+namespace blobcr::bench {
+namespace {
+
+void run_point(benchmark::State& state, bool prefetch, std::size_t instances) {
+  core::CloudConfig cfg = paper_cloud(Backend::BlobCR);
+  cfg.adaptive_prefetch = prefetch;
+  core::Cloud cloud(cfg);
+  apps::SyntheticRun run;
+  run.instances = instances;
+  run.buffer_bytes = 50 * common::kMB;
+  run.do_restart = true;
+  const apps::RunResult result =
+      apps::run_synthetic(cloud, run, CkptMode::AppLevel);
+  report_seconds(state, result.restart_time);
+  state.counters["restart_s"] = sim::to_seconds(result.restart_time);
+  state.counters["deploy_s"] = sim::to_seconds(result.deploy_time);
+}
+
+void register_all() {
+  const std::vector<std::size_t> sweep =
+      fast_mode() ? std::vector<std::size_t>{4}
+                  : std::vector<std::size_t>{30, 90};
+  for (const bool prefetch : {true, false}) {
+    for (const std::size_t n : sweep) {
+      const std::string name =
+          std::string("AblationPrefetch/") +
+          (prefetch ? "adaptive" : "demand-only") + "/hosts:" +
+          std::to_string(n);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [prefetch, n](benchmark::State& state) {
+            run_point(state, prefetch, n);
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blobcr::bench
+
+int main(int argc, char** argv) {
+  blobcr::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

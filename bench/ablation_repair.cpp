@@ -1,0 +1,98 @@
+// Ablation A6: repository repair cost after fail-stop node losses.
+//
+// Checkpoints from a fleet of VMs populate the replicated repository, then
+// `failed` compute nodes die (taking their data providers with them). The
+// repair service re-replicates every under-replicated chunk; we report the
+// scrub duration, the bytes moved, and the chunks that could not be saved.
+// This quantifies the §3.1.1 design point: replication pays a write-time
+// cost (see ablation_replication) and a repair-time cost, in exchange for
+// surviving the next failure too.
+#include "bench_common.h"
+
+#include "blob/repair.h"
+
+namespace blobcr::bench {
+namespace {
+
+struct RepairOutcome {
+  blob::RepairService::Report report;
+  std::uint64_t repo_bytes = 0;
+};
+
+RepairOutcome run_repair(int replication, std::size_t failed_nodes) {
+  core::CloudConfig cfg = paper_cloud(Backend::BlobCR);
+  cfg.replication = replication;
+  core::Cloud cloud(cfg);
+  const std::size_t vms = fast_mode() ? 4 : 16;
+
+  auto outcome = std::make_shared<RepairOutcome>();
+  cloud.run([](core::Cloud* cl, std::size_t n_vms, std::size_t n_fail,
+               int target,
+               std::shared_ptr<RepairOutcome> out) -> sim::Task<> {
+    co_await cl->provision_base_image();
+    core::Deployment dep(*cl, n_vms);
+    co_await dep.deploy_and_boot();
+    for (std::size_t i = 0; i < dep.size(); ++i) {
+      guestfs::SimpleFs* fs = dep.vm(i).fs();
+      co_await fs->write_file("/data/state.bin",
+                              common::Buffer::phantom(50 * common::kMB));
+      co_await fs->sync();
+      (void)co_await dep.snapshot_instance(i);
+    }
+    out->repo_bytes = cl->repository_bytes();
+    // Fail nodes that do NOT host the surviving VMs (pure provider loss),
+    // starting from the top of the node range.
+    for (std::size_t k = 0; k < n_fail; ++k) {
+      cl->fail_node(static_cast<net::NodeId>(cl->config().compute_nodes - 1 -
+                                             k));
+    }
+    blob::RepairService repair(*cl->blob_store());
+    out->report = co_await repair.repair(target);
+  }(&cloud, vms, failed_nodes, replication, outcome));
+  return *outcome;
+}
+
+void register_all() {
+  struct Point {
+    int replication;
+    std::size_t failed;
+  };
+  const std::vector<Point> points = fast_mode()
+                                        ? std::vector<Point>{{2, 1}, {2, 4}}
+                                        : std::vector<Point>{{2, 1},
+                                                             {2, 4},
+                                                             {2, 12},
+                                                             {3, 4},
+                                                             {3, 12}};
+  for (const Point& p : points) {
+    const std::string name = "AblationRepair/replication:" +
+                             std::to_string(p.replication) +
+                             "/failed_nodes:" + std::to_string(p.failed);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [p](benchmark::State& state) {
+          const RepairOutcome out = run_repair(p.replication, p.failed);
+          report_seconds(state, out.report.duration);
+          state.counters["copied_MB"] = mb(out.report.bytes_copied);
+          state.counters["copies"] =
+              static_cast<double>(out.report.copies_made);
+          state.counters["lost_chunks"] =
+              static_cast<double>(out.report.lost);
+          state.counters["repo_MB"] = mb(out.repo_bytes);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+}  // namespace
+}  // namespace blobcr::bench
+
+int main(int argc, char** argv) {
+  blobcr::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation A3: chunk replication factor. Replication buys failure
+// survivability (see FailureInjectionTest) at the cost of extra write
+// volume at checkpoint time and extra repository space.
+#include "bench_common.h"
+
+namespace blobcr::bench {
+namespace {
+
+void run_point(benchmark::State& state, int replication) {
+  core::CloudConfig cfg = paper_cloud(Backend::BlobCR);
+  cfg.replication = replication;
+  core::Cloud cloud(cfg);
+  apps::SyntheticRun run;
+  run.instances = fast_mode() ? 4 : 40;
+  run.buffer_bytes = 50 * common::kMB;
+  const apps::RunResult result =
+      apps::run_synthetic(cloud, run, CkptMode::AppLevel);
+  report_seconds(state, result.checkpoint_times.at(0));
+  state.counters["ckpt_s"] = sim::to_seconds(result.checkpoint_times.at(0));
+  state.counters["repo_MB"] = mb(result.repo_growth.at(0));
+}
+
+void register_all() {
+  for (const int r : {1, 2, 3}) {
+    const std::string name = "AblationReplication/replicas:" + std::to_string(r);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [r](benchmark::State& state) {
+                                   run_point(state, r);
+                                 })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+}  // namespace
+}  // namespace blobcr::bench
+
+int main(int argc, char** argv) {
+  blobcr::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

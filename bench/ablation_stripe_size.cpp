@@ -1,0 +1,48 @@
+// Ablation A1: the BlobSeer stripe (chunk) size trade-off the paper tuned
+// to 256 KB — small stripes reduce per-provider contention but add
+// fragmentation and metadata overhead; large stripes amplify partial-chunk
+// copy-up in commits.
+#include "bench_common.h"
+
+namespace blobcr::bench {
+namespace {
+
+void run_point(benchmark::State& state, std::uint64_t chunk_size) {
+  core::CloudConfig cfg = paper_cloud(Backend::BlobCR);
+  cfg.chunk_size = chunk_size;
+  core::Cloud cloud(cfg);
+  apps::SyntheticRun run;
+  run.instances = fast_mode() ? 4 : 40;
+  run.buffer_bytes = 200 * common::kMB;
+  run.do_restart = true;
+  const apps::RunResult result =
+      apps::run_synthetic(cloud, run, CkptMode::AppLevel);
+  report_seconds(state, result.checkpoint_times.at(0));
+  state.counters["ckpt_s"] = sim::to_seconds(result.checkpoint_times.at(0));
+  state.counters["restart_s"] = sim::to_seconds(result.restart_time);
+  state.counters["snap_MB_per_vm"] = mb(result.snapshot_bytes_per_vm.at(0));
+}
+
+void register_all() {
+  for (const std::uint64_t kb : {64, 256, 1024, 4096}) {
+    const std::string name = "AblationStripe/chunk_kb:" + std::to_string(kb);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [kb](benchmark::State& state) {
+                                   run_point(state, kb * 1024);
+                                 })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+}  // namespace
+}  // namespace blobcr::bench
+
+int main(int argc, char** argv) {
+  blobcr::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 5: four successive checkpoints of the same single VM instance
+// (200 MB buffer refilled before each round).
+//  (a) completion time per checkpoint: BlobCR flat (incremental commits);
+//      qcow2-disk and qcow2-full grow linearly (the whole, growing,
+//      container file is re-copied every time).
+//  (b) total storage space: BlobCR and qcow2-full linear (the latter keeps
+//      only the latest copy, which grows), qcow2-disk superlinear (every
+//      copy of a growing file is kept).
+#include "bench_common.h"
+
+namespace blobcr::bench {
+namespace {
+
+constexpr int kRounds = 4;
+
+struct SeriesResult {
+  std::vector<sim::Duration> times;
+  std::vector<std::uint64_t> repo;
+};
+
+SeriesResult run_series(const Approach& approach) {
+  // Fresh cloud per series so repository growth is attributable.
+  core::Cloud cloud(paper_cloud(approach.backend, 1500 * 1000));
+  apps::SyntheticRun run;
+  run.instances = 1;
+  run.buffer_bytes = 200 * common::kMB;
+  run.rounds = kRounds;
+  const apps::RunResult result =
+      apps::run_synthetic(cloud, run, approach.mode);
+  return SeriesResult{result.checkpoint_times, result.repo_growth};
+}
+
+void register_all() {
+  for (const Approach& approach : five_approaches()) {
+    // One registration per round so the series prints as rows.
+    auto series = std::make_shared<SeriesResult>();
+    for (int round = 1; round <= kRounds; ++round) {
+      const std::string name = "Fig5/" + std::string(approach.name) +
+                               "/checkpoint:" + std::to_string(round);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [approach, round, series](benchmark::State& state) {
+            if (series->times.empty()) *series = run_series(approach);
+            report_seconds(state, series->times.at(round - 1));
+            state.counters["ckpt_s"] =
+                sim::to_seconds(series->times.at(round - 1));
+            state.counters["repo_MB"] = mb(series->repo.at(round - 1));
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blobcr::bench
+
+int main(int argc, char** argv) {
+  blobcr::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// VM migration through disk snapshots (§3.1.3: incremental snapshots "are
+// much easier to migrate").
+//
+// A VM accumulates state on one compute node, then hops across three nodes.
+// Each hop is a guest-triggered disk snapshot followed by a redeploy of the
+// snapshot on the target node; the incremental checkpoint chain continues
+// across hops, and synced data survives every move. The run compares the
+// three backends: BlobCR ships only deltas, qcow2-disk re-ships its whole
+// container, and qcow2-full additionally drags the guest RAM along.
+//
+// Build & run:  ./build/examples/live_migration
+#include <cstdio>
+
+#include "core/blobcr.h"
+#include "sim/sim.h"
+
+using namespace blobcr;
+using common::Buffer;
+using sim::Task;
+
+namespace {
+
+struct HopStats {
+  sim::Duration downtime = 0;
+  std::uint64_t snapshot_bytes = 0;
+};
+
+struct Outcome {
+  std::vector<HopStats> hops;
+  bool data_ok = false;
+};
+
+Outcome run_backend(core::Backend backend) {
+  core::CloudConfig cfg;
+  cfg.compute_nodes = 8;
+  cfg.metadata_nodes = 2;
+  cfg.backend = backend;
+  cfg.os = vm::GuestOsConfig::test_tiny();
+  cfg.vm.os_ram_bytes = 32 * common::kMB;
+  core::Cloud cloud(cfg);
+
+  Outcome out;
+  cloud.run([](core::Cloud* cl, Outcome* out) -> Task<> {
+    co_await cl->provision_base_image();
+    core::Deployment dep(*cl, 1);
+    co_await dep.deploy_and_boot();
+
+    // Accumulate application state before the first hop.
+    guestfs::SimpleFs* fs = dep.vm(0).fs();
+    co_await fs->write_file("/data/model.bin", Buffer::pattern(3'000'000, 1));
+    co_await fs->sync();
+
+    for (int hop = 0; hop < 3; ++hop) {
+      // A bit of fresh dirty state per hop (what the next snapshot ships
+      // incrementally).
+      guestfs::SimpleFs* cur = dep.vm(0).fs();
+      co_await cur->write_file(
+          "/data/hop" + std::to_string(hop) + ".bin",
+          Buffer::pattern(400'000, 100 + static_cast<std::uint64_t>(hop)));
+      co_await cur->sync();
+
+      const net::NodeId target = (dep.instance(0).node + 2) % 8;
+      HopStats stats;
+      stats.downtime = co_await dep.migrate_instance(0, target);
+      stats.snapshot_bytes = dep.instance(0).last_snapshot.bytes;
+      out->hops.push_back(stats);
+    }
+
+    // Everything synced before the hops must have survived all of them.
+    guestfs::SimpleFs* end = dep.vm(0).fs();
+    const Buffer model = co_await end->read_file("/data/model.bin");
+    bool ok = (model == Buffer::pattern(3'000'000, 1));
+    for (int hop = 0; hop < 3; ++hop) {
+      const Buffer h = co_await end->read_file("/data/hop" +
+                                               std::to_string(hop) + ".bin");
+      ok = ok &&
+           (h == Buffer::pattern(400'000, 100 + static_cast<std::uint64_t>(hop)));
+    }
+    out->data_ok = ok;
+  }(&cloud, &out));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  struct Row {
+    const char* name;
+    core::Backend backend;
+  };
+  const Row rows[] = {
+      {"BlobCR", core::Backend::BlobCR},
+      {"qcow2-disk", core::Backend::Qcow2Disk},
+      {"qcow2-full", core::Backend::Qcow2Full},
+  };
+
+  std::printf("3 migration hops of one VM (3.4 MB app state, tiny guest)\n\n");
+  std::printf("%-12s %26s %30s %6s\n", "backend", "hop downtime (s)",
+              "snapshot shipped (MB)", "data");
+  bool all_ok = true;
+  for (const Row& row : rows) {
+    const Outcome out = run_backend(row.backend);
+    all_ok = all_ok && out.data_ok;
+    std::printf("%-12s    %6.2f  %6.2f  %6.2f      %8.2f %8.2f %8.2f   %4s\n",
+                row.name, sim::to_seconds(out.hops[0].downtime),
+                sim::to_seconds(out.hops[1].downtime),
+                sim::to_seconds(out.hops[2].downtime),
+                static_cast<double>(out.hops[0].snapshot_bytes) / 1e6,
+                static_cast<double>(out.hops[1].snapshot_bytes) / 1e6,
+                static_cast<double>(out.hops[2].snapshot_bytes) / 1e6,
+                out.data_ok ? "OK" : "BAD");
+  }
+  std::printf("\nBlobCR ships per-hop deltas; the baselines re-ship "
+              "their whole container every hop.\n");
+  return all_ok ? 0 : 1;
+}

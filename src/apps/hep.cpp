@@ -1,0 +1,134 @@
+#include "apps/hep.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "guestfs/simplefs.h"
+
+namespace blobcr::apps {
+
+HepRank::HepRank(vm::GuestProcess& proc, HepConfig cfg, int rank)
+    : proc_(&proc), cfg_(std::move(cfg)), rank_(rank) {}
+
+std::uint64_t HepRank::state_digest() const {
+  return proc_->regions().at("hist").digest();
+}
+
+bool HepRank::is_hit(std::uint64_t e) const {
+  const std::uint64_t h = common::mix64(
+      cfg_.seed ^ (static_cast<std::uint64_t>(rank_) << 32) ^ e);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < cfg_.hit_probability;
+}
+
+std::uint64_t HepRank::expected_hits(std::uint64_t upto) const {
+  std::uint64_t n = 0;
+  for (std::uint64_t e = 0; e < upto; ++e) n += is_hit(e) ? 1 : 0;
+  return n;
+}
+
+sim::Task<> HepRank::init() {
+  proc_->set_region("hist",
+                    cfg_.real_data
+                        ? common::Buffer::zeros(cfg_.histogram_bytes)
+                        : common::Buffer::phantom(cfg_.histogram_bytes));
+  cursor_ = 0;
+  unsynced_hits_ = 0;
+  guestfs::SimpleFs* fs = proc_->vm().fs();
+  co_await proc_->vm().gate();
+  // Truncate-create the result log.
+  co_await fs->write_file(log_path(), common::Buffer());
+}
+
+void HepRank::bump_histogram(std::uint64_t e) {
+  if (!cfg_.real_data) return;
+  auto bytes = proc_->region("hist").mutable_bytes();
+  const std::size_t bin = static_cast<std::size_t>(common::mix64(e * 31 + 7)) %
+                          bytes.size();
+  bytes[bin] = static_cast<std::byte>(std::to_integer<unsigned>(bytes[bin]) + 1);
+}
+
+sim::Task<> HepRank::process_until(std::uint64_t target) {
+  target = std::min(target, cfg_.total_events);
+  guestfs::SimpleFs* fs = proc_->vm().fs();
+  const guestfs::Fd log = fs->open(log_path(), /*create=*/true,
+                                   /*append_mode=*/true);
+  while (cursor_ < target) {
+    const std::uint64_t e = cursor_;
+    co_await proc_->compute(cfg_.per_event_compute);
+    bump_histogram(e);
+    if (is_hit(e)) {
+      const std::uint64_t rec_seed = common::mix64(
+          cfg_.seed ^ 0xa9a9ULL ^ (static_cast<std::uint64_t>(rank_) << 40) ^
+          e);
+      common::Buffer rec =
+          cfg_.real_data
+              ? common::Buffer::pattern(cfg_.hit_record_bytes, rec_seed)
+              : common::Buffer::phantom(cfg_.hit_record_bytes);
+      co_await proc_->vm().gate();
+      co_await fs->write(log, std::move(rec));
+      if (cfg_.sync_every_hits > 0 &&
+          ++unsynced_hits_ >= cfg_.sync_every_hits) {
+        co_await fs->sync();
+        unsynced_hits_ = 0;
+      }
+    }
+    ++cursor_;
+  }
+  fs->close(log);
+}
+
+sim::Task<std::uint64_t> HepRank::write_checkpoint() {
+  guestfs::SimpleFs* fs = proc_->vm().fs();
+  co_await proc_->vm().gate();
+  // Header: cursor and the histogram digest the restore must reproduce.
+  const std::string header = common::strf(
+      "cursor=%llu digest=%llu\n", static_cast<unsigned long long>(cursor_),
+      static_cast<unsigned long long>(
+          cfg_.real_data ? state_digest() : 0));
+  co_await fs->write_file(cursor_path(), common::Buffer::from_string(header));
+  co_await fs->write_file(state_path(), proc_->region("hist"));
+  co_return header.size() + cfg_.histogram_bytes;
+}
+
+namespace {
+
+/// Parses "key=value" out of the header line; 0 when absent.
+std::uint64_t parse_field(const std::string& text, const std::string& key) {
+  const std::size_t at = text.find(key + "=");
+  if (at == std::string::npos) return 0;
+  const char* begin = text.data() + at + key.size() + 1;
+  std::uint64_t value = 0;
+  (void)std::from_chars(begin, text.data() + text.size(), value);
+  return value;
+}
+
+}  // namespace
+
+sim::Task<bool> HepRank::restore_checkpoint() {
+  guestfs::SimpleFs* fs = proc_->vm().fs();
+  co_await proc_->vm().gate();
+  const common::Buffer header_buf = co_await fs->read_file(cursor_path());
+  const std::string header = header_buf.to_string();
+  cursor_ = parse_field(header, "cursor");
+  unsynced_hits_ = 0;
+  common::Buffer hist = co_await fs->read_file(state_path());
+  const bool size_ok = hist.size() == cfg_.histogram_bytes;
+  bool digest_ok = true;
+  if (cfg_.real_data) {
+    digest_ok = hist.digest() == parse_field(header, "digest");
+  }
+  proc_->set_region("hist", std::move(hist));
+  co_return size_ok && digest_ok;
+}
+
+sim::Task<std::uint64_t> HepRank::count_log_records() {
+  guestfs::SimpleFs* fs = proc_->vm().fs();
+  co_await proc_->vm().gate();
+  if (!fs->exists(log_path())) co_return 0;
+  co_return fs->stat(log_path()).size / cfg_.hit_record_bytes;
+}
+
+}  // namespace blobcr::apps

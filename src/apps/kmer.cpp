@@ -1,0 +1,107 @@
+#include "apps/kmer.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "guestfs/simplefs.h"
+
+namespace blobcr::apps {
+
+KmerRank::KmerRank(vm::GuestProcess& proc, KmerConfig cfg, int rank)
+    : proc_(&proc), cfg_(std::move(cfg)), rank_(rank) {
+  if (rank_ < 0 || rank_ >= cfg_.ranks)
+    throw std::invalid_argument("KmerRank: rank outside [0, ranks)");
+}
+
+std::uint64_t KmerRank::state_digest() const {
+  return proc_->regions().at("table").digest();
+}
+
+sim::Task<> KmerRank::init() {
+  proc_->set_region("table",
+                    cfg_.real_data
+                        ? common::Buffer::zeros(cfg_.table_bytes)
+                        : common::Buffer::phantom(cfg_.table_bytes));
+  offset_ = cfg_.slice_begin(rank_);
+  co_return;
+}
+
+void KmerRank::fold_window(const common::Buffer& window) {
+  if (!cfg_.real_data || window.is_phantom()) return;
+  // A count-sketch-flavored fold: every 8-byte word of sequence bumps one
+  // table cell chosen by its hash. Content-dependent, so the table digest
+  // genuinely witnesses which bytes were scanned.
+  auto table = proc_->region("table").mutable_bytes();
+  const auto bytes = window.bytes();
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    word = (word << 8) | std::to_integer<std::uint64_t>(bytes[i]);
+    if ((i & 7u) == 7u) {
+      const std::size_t cell =
+          static_cast<std::size_t>(common::mix64(word)) % table.size();
+      table[cell] =
+          static_cast<std::byte>(std::to_integer<unsigned>(table[cell]) + 1);
+      word = 0;
+    }
+  }
+}
+
+sim::Task<> KmerRank::scan_until(std::uint64_t target) {
+  target = std::min(target, slice_end());
+  guestfs::SimpleFs* fs = proc_->vm().fs();
+  const guestfs::Fd ref = fs->open(cfg_.reference_path);
+  while (offset_ < target) {
+    const std::uint64_t len = std::min(cfg_.window_bytes, target - offset_);
+    co_await proc_->vm().gate();
+    common::Buffer window = co_await fs->pread(ref, offset_, len);
+    fold_window(window);
+    co_await proc_->compute(
+        sim::transfer_time(window.size(), cfg_.scan_bps));
+    offset_ += len;
+  }
+  fs->close(ref);
+}
+
+sim::Task<std::uint64_t> KmerRank::write_checkpoint() {
+  guestfs::SimpleFs* fs = proc_->vm().fs();
+  co_await proc_->vm().gate();
+  const std::string header = common::strf(
+      "offset=%llu digest=%llu\n", static_cast<unsigned long long>(offset_),
+      static_cast<unsigned long long>(cfg_.real_data ? state_digest() : 0));
+  co_await fs->write_file(cursor_path(), common::Buffer::from_string(header));
+  co_await fs->write_file(state_path(), proc_->region("table"));
+  co_return header.size() + cfg_.table_bytes;
+}
+
+namespace {
+
+std::uint64_t parse_field(const std::string& text, const std::string& key) {
+  const std::size_t at = text.find(key + "=");
+  if (at == std::string::npos) return 0;
+  const char* begin = text.data() + at + key.size() + 1;
+  std::uint64_t value = 0;
+  (void)std::from_chars(begin, text.data() + text.size(), value);
+  return value;
+}
+
+}  // namespace
+
+sim::Task<bool> KmerRank::restore_checkpoint() {
+  guestfs::SimpleFs* fs = proc_->vm().fs();
+  co_await proc_->vm().gate();
+  const common::Buffer header_buf = co_await fs->read_file(cursor_path());
+  const std::string header = header_buf.to_string();
+  offset_ = parse_field(header, "offset");
+  common::Buffer table = co_await fs->read_file(state_path());
+  const bool size_ok = table.size() == cfg_.table_bytes;
+  bool digest_ok = true;
+  if (cfg_.real_data) {
+    digest_ok = table.digest() == parse_field(header, "digest");
+  }
+  proc_->set_region("table", std::move(table));
+  co_return size_ok && digest_ok;
+}
+
+}  // namespace blobcr::apps

@@ -1,0 +1,327 @@
+#include "apps/scenarios.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "common/strutil.h"
+#include "mpi/blcr.h"
+#include "mpi/coordinated.h"
+#include "sim/when_all.h"
+
+namespace blobcr::apps {
+
+using core::Backend;
+using core::Cloud;
+using core::Deployment;
+using core::GlobalCheckpoint;
+using sim::Task;
+
+const char* mode_name(CkptMode mode) {
+  switch (mode) {
+    case CkptMode::AppLevel:
+      return "app";
+    case CkptMode::ProcessBlcr:
+      return "blcr";
+    case CkptMode::FullVm:
+      return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Memory-fill rate for "fill the buffer with random data".
+constexpr double kMemFillBps = 4e9;
+
+struct SyntheticShared {
+  std::vector<std::uint64_t> digests;
+  std::vector<bool> restore_ok;
+};
+
+Task<> synthetic_worker(Deployment* dep, std::size_t index,
+                        SyntheticRun run, CkptMode mode,
+                        sim::Barrier* start_bar, sim::Barrier* end_bar,
+                        std::shared_ptr<SyntheticShared> shared,
+                        vm::GuestProcess* gp) {
+  for (int round = 0; round < run.rounds; ++round) {
+    // (Re)fill the buffer with fresh random data.
+    const std::uint64_t seed =
+        0xf111ULL * (index + 1) + static_cast<std::uint64_t>(round);
+    gp->set_region("buffer",
+                   run.real_data
+                       ? common::Buffer::pattern(run.buffer_bytes, seed)
+                       : common::Buffer::phantom(run.buffer_bytes));
+    co_await gp->compute(sim::transfer_time(run.buffer_bytes, kMemFillBps));
+    shared->digests[index] = gp->region("buffer").digest();
+
+    co_await start_bar->arrive_and_wait();
+    if (mode == CkptMode::AppLevel) {
+      guestfs::SimpleFs* fs = gp->vm().fs();
+      co_await gp->vm().gate();
+      co_await fs->write_file("/data/buffer.bin", gp->region("buffer"));
+      co_await fs->sync();
+      (void)co_await dep->snapshot_instance(index);
+    } else if (mode == CkptMode::ProcessBlcr) {
+      co_await mpi::Blcr::dump(*gp, "/data/proc.blcr");
+      co_await gp->vm().fs()->sync();
+      (void)co_await dep->snapshot_instance(index);
+    }
+    // FullVm: the external driver snapshots whole VMs between the barriers.
+    co_await end_bar->arrive_and_wait();
+  }
+}
+
+Task<> synthetic_restore_worker(std::size_t index, SyntheticRun run,
+                                CkptMode mode,
+                                std::shared_ptr<SyntheticShared> shared,
+                                vm::GuestProcess* gp) {
+  if (mode == CkptMode::AppLevel) {
+    guestfs::SimpleFs* fs = gp->vm().fs();
+    co_await gp->vm().gate();
+    common::Buffer data = co_await fs->read_file("/data/buffer.bin");
+    const bool ok = data.size() == run.buffer_bytes &&
+                    data.digest() == shared->digests[index];
+    gp->set_region("buffer", std::move(data));
+    shared->restore_ok[index] = ok;
+  } else {
+    const bool ok = co_await mpi::Blcr::restore(*gp, "/data/proc.blcr");
+    shared->restore_ok[index] =
+        ok && gp->region("buffer").digest() == shared->digests[index];
+  }
+}
+
+Task<> synthetic_driver(Cloud* cloud, SyntheticRun run, CkptMode mode,
+                        RunResult* result) {
+  sim::Simulation& sim = cloud->simulation();
+  co_await cloud->provision_base_image();
+  Deployment dep(*cloud, run.instances);
+  sim::Time t0 = sim.now();
+  co_await dep.deploy_and_boot();
+  result->deploy_time = sim.now() - t0;
+  const std::uint64_t repo_baseline = cloud->repository_bytes();
+
+  auto shared = std::make_shared<SyntheticShared>();
+  shared->digests.resize(run.instances);
+  shared->restore_ok.assign(run.instances, true);
+  sim::Barrier start_bar(sim, run.instances + 1);
+  sim::Barrier end_bar(sim, run.instances + 1);
+
+  for (std::size_t i = 0; i < run.instances; ++i) {
+    Deployment* dp = &dep;
+    dep.vm(i).start_guest(
+        "worker", [dp, i, run, mode, &start_bar, &end_bar,
+                   shared](vm::GuestProcess& gp) -> Task<> {
+          co_await synthetic_worker(dp, i, run, mode, &start_bar, &end_bar,
+                                    shared, &gp);
+        });
+  }
+
+  for (int round = 0; round < run.rounds; ++round) {
+    co_await start_bar.arrive_and_wait();
+    t0 = sim.now();
+    if (mode == CkptMode::FullVm) {
+      (void)co_await dep.checkpoint_all();
+    }
+    co_await end_bar.arrive_and_wait();
+    result->checkpoint_times.push_back(sim.now() - t0);
+    const GlobalCheckpoint last = dep.collect_last_snapshots();
+    result->snapshot_bytes_per_vm.push_back(last.total_bytes() /
+                                            run.instances);
+    result->repo_growth.push_back(cloud->repository_bytes() - repo_baseline);
+  }
+  for (std::size_t i = 0; i < run.instances; ++i) {
+    co_await dep.vm(i).join_guests();
+  }
+
+  if (run.do_restart) {
+    const GlobalCheckpoint ckpt = dep.collect_last_snapshots();
+    dep.destroy_all();
+    t0 = sim.now();
+    co_await dep.restart_from(ckpt, run.restart_shift);
+    if (mode != CkptMode::FullVm) {
+      for (std::size_t i = 0; i < run.instances; ++i) {
+        dep.vm(i).start_guest(
+            "restore", [i, run, mode, shared](vm::GuestProcess& gp) -> Task<> {
+              co_await synthetic_restore_worker(i, run, mode, shared, &gp);
+            });
+      }
+      for (std::size_t i = 0; i < run.instances; ++i) {
+        co_await dep.vm(i).join_guests();
+      }
+    }
+    result->restart_time = sim.now() - t0;
+    if (run.real_data) {
+      for (const bool ok : shared->restore_ok) {
+        result->verified = result->verified && ok;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RunResult run_synthetic(Cloud& cloud, const SyntheticRun& run,
+                        CkptMode mode) {
+  assert((mode == CkptMode::FullVm) ==
+             (cloud.config().backend == Backend::Qcow2Full) &&
+         "FullVm mode pairs with the Qcow2Full backend");
+  RunResult result;
+  cloud.run(synthetic_driver(&cloud, run, mode, &result));
+  return result;
+}
+
+// --- CM1 ----------------------------------------------------------------------
+
+namespace {
+
+struct Cm1Shared {
+  std::vector<std::uint64_t> digests;
+  std::vector<bool> restore_ok;
+};
+
+/// Picks px*py == n with px as close to sqrt(n) as possible.
+std::pair<int, int> process_grid(int n) {
+  int px = static_cast<int>(std::sqrt(static_cast<double>(n)));
+  while (px > 1 && n % px != 0) --px;
+  return {px, n / px};
+}
+
+Task<> cm1_rank_body(Deployment* dep, Cm1Run run, Cm1Config cfg,
+                     CkptMode mode, std::size_t vm_index, int rank,
+                     sim::Barrier* start_bar, sim::Barrier* end_bar,
+                     std::shared_ptr<Cm1Shared> shared,
+                     vm::GuestProcess* gp) {
+  dep->mpi().register_rank(rank, gp);
+  Cm1Rank cm1(*gp, dep->mpi().comm(rank), cfg, rank);
+  co_await cm1.init();
+  co_await cm1.run(run.iterations);
+
+  co_await start_bar->arrive_and_wait();
+  shared->digests[static_cast<std::size_t>(rank)] = cm1.state_digest();
+
+  mpi::CoordinatedHooks hooks;
+  hooks.vm_leader = (rank % run.ranks_per_vm == 0);
+  hooks.fs = gp->vm().fs();
+  Cm1Rank* cm1p = &cm1;
+  if (mode == CkptMode::AppLevel) {
+    hooks.dump = [cm1p]() -> Task<> { (void)co_await cm1p->write_checkpoint(); };
+  } else {
+    hooks.dump = [gp, rank]() -> Task<> {
+      co_await mpi::Blcr::dump(
+          *gp, common::strf("/data/rank%03d.blcr", rank));
+    };
+  }
+  hooks.request_disk_snapshot = [dep, vm_index]() -> Task<> {
+    (void)co_await dep->snapshot_instance(vm_index);
+  };
+  co_await mpi::coordinated_checkpoint(dep->mpi().comm(rank), hooks);
+  co_await end_bar->arrive_and_wait();
+}
+
+Task<> cm1_restore_body(Deployment* dep, Cm1Run run, Cm1Config cfg,
+                        CkptMode mode, int rank,
+                        std::shared_ptr<Cm1Shared> shared,
+                        vm::GuestProcess* gp) {
+  dep->mpi().rebind_rank(rank, gp);
+  if (mode == CkptMode::AppLevel) {
+    Cm1Rank cm1(*gp, dep->mpi().comm(rank), cfg, rank);
+    const bool ok = co_await cm1.restore_checkpoint();
+    shared->restore_ok[static_cast<std::size_t>(rank)] =
+        ok && cm1.state_digest() ==
+                  shared->digests[static_cast<std::size_t>(rank)];
+  } else {
+    const bool ok = co_await mpi::Blcr::restore(
+        *gp, common::strf("/data/rank%03d.blcr", rank));
+    shared->restore_ok[static_cast<std::size_t>(rank)] =
+        ok && gp->region("fields").digest() ==
+                  shared->digests[static_cast<std::size_t>(rank)];
+  }
+}
+
+Task<> cm1_driver(Cloud* cloud, Cm1Run run, CkptMode mode,
+                  RunResult* result) {
+  sim::Simulation& sim = cloud->simulation();
+  co_await cloud->provision_base_image();
+  Deployment dep(*cloud, run.vms);
+  sim::Time t0 = sim.now();
+  co_await dep.deploy_and_boot();
+  result->deploy_time = sim.now() - t0;
+  const std::uint64_t repo_baseline = cloud->repository_bytes();
+
+  const int nranks = static_cast<int>(run.vms) * run.ranks_per_vm;
+  dep.mpi().set_size(nranks);
+  Cm1Config cfg = run.app;
+  const auto [px, py] = process_grid(nranks);
+  cfg.px = px;
+  cfg.py = py;
+
+  auto shared = std::make_shared<Cm1Shared>();
+  shared->digests.resize(static_cast<std::size_t>(nranks));
+  shared->restore_ok.assign(static_cast<std::size_t>(nranks), true);
+  sim::Barrier start_bar(sim, static_cast<std::size_t>(nranks) + 1);
+  sim::Barrier end_bar(sim, static_cast<std::size_t>(nranks) + 1);
+
+  for (std::size_t i = 0; i < run.vms; ++i) {
+    for (int k = 0; k < run.ranks_per_vm; ++k) {
+      const int rank = static_cast<int>(i) * run.ranks_per_vm + k;
+      Deployment* dp = &dep;
+      dep.vm(i).start_guest(
+          common::strf("rank%d", rank),
+          [dp, run, cfg, mode, i, rank, &start_bar, &end_bar,
+           shared](vm::GuestProcess& gp) -> Task<> {
+            co_await cm1_rank_body(dp, run, cfg, mode, i, rank, &start_bar,
+                                   &end_bar, shared, &gp);
+          });
+    }
+  }
+
+  co_await start_bar.arrive_and_wait();
+  t0 = sim.now();
+  co_await end_bar.arrive_and_wait();
+  result->checkpoint_times.push_back(sim.now() - t0);
+  const GlobalCheckpoint snaps = dep.collect_last_snapshots();
+  result->snapshot_bytes_per_vm.push_back(snaps.total_bytes() / run.vms);
+  result->repo_growth.push_back(cloud->repository_bytes() - repo_baseline);
+  for (std::size_t i = 0; i < run.vms; ++i) co_await dep.vm(i).join_guests();
+
+  if (run.do_restart) {
+    const GlobalCheckpoint ckpt = dep.collect_last_snapshots();
+    dep.destroy_all();
+    t0 = sim.now();
+    co_await dep.restart_from(ckpt, run.restart_shift);
+    for (std::size_t i = 0; i < run.vms; ++i) {
+      for (int k = 0; k < run.ranks_per_vm; ++k) {
+        const int rank = static_cast<int>(i) * run.ranks_per_vm + k;
+        Deployment* dp = &dep;
+        dep.vm(i).start_guest(
+            common::strf("restore%d", rank),
+            [dp, run, cfg, mode, rank, shared](vm::GuestProcess& gp)
+                -> Task<> {
+              co_await cm1_restore_body(dp, run, cfg, mode, rank, shared,
+                                        &gp);
+            });
+      }
+    }
+    for (std::size_t i = 0; i < run.vms; ++i) {
+      co_await dep.vm(i).join_guests();
+    }
+    result->restart_time = sim.now() - t0;
+    if (run.app.real_data) {
+      for (const bool ok : shared->restore_ok) {
+        result->verified = result->verified && ok;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RunResult run_cm1(Cloud& cloud, const Cm1Run& run, CkptMode mode) {
+  assert(mode != CkptMode::FullVm && "the paper omits qcow2-full for CM1");
+  RunResult result;
+  cloud.run(cm1_driver(&cloud, run, mode, &result));
+  return result;
+}
+
+}  // namespace blobcr::apps

@@ -1,0 +1,70 @@
+// Scenarios: reusable end-to-end experiment drivers matching the paper's
+// methodology (§4.2/§4.3/§4.4). Benchmarks, examples and integration tests
+// all run through these, so every figure regenerates from the same code
+// paths a library user would call.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/cm1.h"
+#include "core/cloud.h"
+#include "sim/sim.h"
+
+namespace blobcr::apps {
+
+/// How process state reaches the virtual disk (paper §4.2's three settings).
+enum class CkptMode {
+  AppLevel,     // the application dumps its own files
+  ProcessBlcr,  // BLCR dump driven by the MPI library
+  FullVm        // no dump; full VM snapshot (qcow2-full only)
+};
+
+const char* mode_name(CkptMode mode);
+
+/// The synthetic benchmarking application (§4.3): one process per VM fills
+/// a data buffer with random data, synchronizes, dumps it and requests a
+/// disk snapshot.
+struct SyntheticRun {
+  std::size_t instances = 1;
+  std::uint64_t buffer_bytes = 50 * common::kMB;
+  bool real_data = false;
+  int rounds = 1;          // successive checkpoints (§4.3.2)
+  bool do_restart = false; // kill everything and restart (§4.3.1)
+  std::size_t restart_shift = 7;  // re-deploy on different nodes
+};
+
+/// The CM1 case study (§4.4): 4 ranks per quad-core VM, weak scaling.
+struct Cm1Run {
+  std::size_t vms = 1;
+  int ranks_per_vm = 4;
+  Cm1Config app;
+  int iterations = 20;  // pre-checkpoint execution
+  bool do_restart = false;
+  std::size_t restart_shift = 7;
+};
+
+struct RunResult {
+  sim::Duration deploy_time = 0;
+  /// Global checkpoint completion time per round (Fig 2 / Fig 5a / Fig 6).
+  std::vector<sim::Duration> checkpoint_times;
+  /// Average per-VM snapshot size per round (Fig 4 / Table 1).
+  std::vector<std::uint64_t> snapshot_bytes_per_vm;
+  /// Cumulative checkpoint bytes in the repository per round (Fig 5b).
+  std::vector<std::uint64_t> repo_growth;
+  /// Restart completion time: redeploy + reboot + state restore (Fig 3).
+  sim::Duration restart_time = 0;
+  /// Digest verification outcome (real-data runs; true in phantom mode).
+  bool verified = true;
+};
+
+/// Runs the synthetic workload on an already-constructed cloud. The cloud's
+/// backend decides BlobCR vs qcow2-disk; CkptMode::FullVm requires the
+/// Qcow2Full backend.
+RunResult run_synthetic(core::Cloud& cloud, const SyntheticRun& run,
+                        CkptMode mode);
+
+/// Runs the CM1 case study (AppLevel or ProcessBlcr).
+RunResult run_cm1(core::Cloud& cloud, const Cm1Run& run, CkptMode mode);
+
+}  // namespace blobcr::apps

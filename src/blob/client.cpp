@@ -1,0 +1,362 @@
+#include "blob/client.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/when_all.h"
+
+namespace blobcr::blob {
+
+namespace {
+
+/// True iff any write index falls in [lo, hi).
+bool overlaps(const std::vector<std::pair<std::uint64_t, ChunkLocation>>& w,
+              std::uint64_t lo, std::uint64_t hi) {
+  const auto it = std::lower_bound(
+      w.begin(), w.end(), lo,
+      [](const auto& e, std::uint64_t v) { return e.first < v; });
+  return it != w.end() && it->first < hi;
+}
+
+const ChunkLocation* find_write(
+    const std::vector<std::pair<std::uint64_t, ChunkLocation>>& w,
+    std::uint64_t index) {
+  const auto it = std::lower_bound(
+      w.begin(), w.end(), index,
+      [](const auto& e, std::uint64_t v) { return e.first < v; });
+  return (it != w.end() && it->first == index) ? &it->second : nullptr;
+}
+
+}  // namespace
+
+sim::Task<BlobId> BlobClient::create(std::uint64_t chunk_size) {
+  if (chunk_size == 0) chunk_size = store_->config().default_chunk_size;
+  const BlobId id =
+      co_await store_->version_manager().create(node_, chunk_size);
+  chunk_size_cache_[id] = chunk_size;
+  co_return id;
+}
+
+sim::Task<BlobId> BlobClient::clone(BlobId src, VersionId v) {
+  const BlobId id = co_await store_->version_manager().clone(node_, src, v);
+  co_return id;
+}
+
+sim::Task<BlobMeta> BlobClient::stat(BlobId blob) {
+  BlobMeta meta = co_await store_->version_manager().stat(node_, blob);
+  co_return meta;
+}
+
+sim::Task<BlobClient::VersionEntry> BlobClient::resolve(BlobId blob,
+                                                        VersionId& version) {
+  if (version != 0) {
+    const auto it = version_cache_.find(VersionKey{blob, version});
+    if (it != version_cache_.end()) co_return it->second;
+  }
+  const BlobMeta meta = co_await store_->version_manager().stat(node_, blob);
+  chunk_size_cache_[blob] = meta.chunk_size;
+  if (version == 0) version = meta.latest();
+  VersionEntry entry;
+  entry.chunk_size = meta.chunk_size;
+  if (version == 0) {
+    // Freshly created blob without versions: empty.
+    entry.root = 0;
+    entry.size = 0;
+    co_return entry;
+  }
+  const VersionInfo& info = meta.version(version);
+  if (info.root == 0 && info.size != 0)
+    throw BlobError("version has been garbage-collected");
+  entry.root = info.root;
+  entry.size = info.size;
+  version_cache_[VersionKey{blob, version}] = entry;
+  co_return entry;
+}
+
+sim::Task<VersionId> BlobClient::write(BlobId blob, std::uint64_t offset,
+                                       common::Buffer data) {
+  std::vector<Extent> extents;
+  extents.push_back(Extent{offset, std::move(data)});
+  co_return co_await write_extents(blob, std::move(extents));
+}
+
+sim::Task<VersionId> BlobClient::write_extents(BlobId blob,
+                                               std::vector<Extent> extents) {
+  // In-memory payloads: the reader just slices them. Both the extents and
+  // the reader live in this frame for the duration of the call.
+  std::vector<ExtentSpec> specs;
+  specs.reserve(extents.size());
+  for (const Extent& e : extents) {
+    specs.push_back(ExtentSpec{e.offset, e.data.size()});
+  }
+  const std::vector<Extent>* owned = &extents;
+  ExtentReader reader = [owned](std::uint64_t offset,
+                                std::uint64_t length)
+      -> sim::Task<common::Buffer> {
+    for (const Extent& e : *owned) {
+      if (offset >= e.offset && offset + length <= e.offset + e.data.size()) {
+        co_return e.data.slice(offset - e.offset, length);
+      }
+    }
+    throw BlobError("reader miss in write_extents");
+  };
+  co_return co_await write_extents_via(blob, std::move(specs), &reader);
+}
+
+sim::Task<VersionId> BlobClient::write_extents_via(
+    BlobId blob, std::vector<ExtentSpec> extents, ExtentReader* reader) {
+  VersionId latest = 0;
+  const VersionEntry base = co_await resolve(blob, latest);
+  const std::uint64_t chunk_size = base.chunk_size;
+
+  // Split extents into chunk-sized pieces (payloads fetched lazily).
+  struct Piece {
+    std::uint64_t index;
+    std::uint64_t offset;
+    std::uint32_t length;
+  };
+  std::vector<Piece> pieces;
+  std::uint64_t new_size = base.size;
+  std::uint64_t payload_bytes = 0;
+  for (const ExtentSpec& e : extents) {
+    if (e.offset % chunk_size != 0)
+      throw BlobError("write offset not chunk-aligned");
+    payload_bytes += e.length;
+    new_size = std::max(new_size, e.offset + e.length);
+    for (std::uint64_t off = 0; off < e.length; off += chunk_size) {
+      const std::uint64_t piece_len = std::min(chunk_size, e.length - off);
+      pieces.push_back(Piece{(e.offset + off) / chunk_size, e.offset + off,
+                             static_cast<std::uint32_t>(piece_len)});
+    }
+  }
+  if (pieces.empty()) throw BlobError("empty commit");
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& a, const Piece& b) { return a.index < b.index; });
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    if (pieces[i].index == pieces[i - 1].index)
+      throw BlobError("overlapping extents in commit");
+  }
+  if (pieces.back().index >= capacity_chunks())
+    throw BlobError("write beyond blob capacity");
+
+  // Placement: one allocation round-trip for the whole commit.
+  std::vector<std::uint32_t> sizes;
+  sizes.reserve(pieces.size());
+  for (const Piece& p : pieces) sizes.push_back(p.length);
+  const int replication = store_->config().replication;
+  std::vector<ChunkLocation> locs =
+      co_await store_->provider_manager().allocate(
+          node_, sizes, replication, store_->chunk_id_counter());
+
+  // Pipelined stores: each window slot pulls a chunk through the reader
+  // (e.g. local disk) and ships it to all replicas. The reader outlives the
+  // pipeline (owned by our caller's frame).
+  std::vector<sim::Task<>> stores;
+  stores.reserve(pieces.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    stores.push_back(
+        [](BlobClient* self, Piece piece, ChunkLocation loc,
+           ExtentReader* rd) -> sim::Task<> {
+          common::Buffer data =
+              co_await (*rd)(piece.offset, piece.length);
+          for (const net::NodeId replica : loc.replicas) {
+            DataProvider* provider = self->store_->provider_at(replica);
+            if (provider == nullptr) throw BlobError("no provider at node");
+            co_await provider->store(self->node_, loc.id, data);
+          }
+        }(this, pieces[i], locs[i], reader));
+  }
+  co_await sim::run_window(store_->simulation(), store_->config().write_window,
+                           std::move(stores));
+
+  // Warm the metadata cache over the written range, then path-copy.
+  std::vector<std::pair<std::uint64_t, ChunkLocation>> writes;
+  writes.reserve(pieces.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    writes.emplace_back(pieces[i].index, locs[i]);
+  }
+  const std::uint64_t lo = writes.front().first;
+  const std::uint64_t hi = writes.back().first + 1;
+  if (base.root != 0) {
+    co_await descend(base.root, capacity_chunks(), lo, hi, nullptr);
+  }
+  std::vector<std::pair<NodeRef, TreeNode>> new_nodes;
+  const NodeRef new_root = build(base.root, 0, capacity_chunks(), writes,
+                                 new_nodes);
+  const std::uint64_t meta_bytes =
+      new_nodes.size() * store_->metadata().record_bytes();
+  co_await store_->metadata().put_nodes(node_, std::move(new_nodes));
+
+  const std::uint64_t chunk_bytes =
+      payload_bytes * static_cast<std::uint64_t>(replication);
+  bytes_written_ += payload_bytes;
+  const VersionId v = co_await store_->version_manager().publish(
+      node_, blob, new_root, new_size, chunk_bytes, meta_bytes);
+  version_cache_[VersionKey{blob, v}] =
+      VersionEntry{new_root, new_size, chunk_size};
+  co_return v;
+}
+
+NodeRef BlobClient::build(
+    NodeRef old_ref, std::uint64_t lo, std::uint64_t hi,
+    const std::vector<std::pair<std::uint64_t, ChunkLocation>>& writes,
+    std::vector<std::pair<NodeRef, TreeNode>>& out) {
+  if (!overlaps(writes, lo, hi)) return old_ref;  // shared subtree
+  if (hi - lo == 1) {
+    const ChunkLocation* loc = find_write(writes, lo);
+    assert(loc != nullptr);
+    const NodeRef ref = store_->node_ref_counter()++;
+    TreeNode node = TreeNode::make_leaf(*loc);
+    node_cache_[ref] = node;
+    out.emplace_back(ref, std::move(node));
+    return ref;
+  }
+  const std::uint64_t mid = lo + (hi - lo) / 2;
+  NodeRef old_left = 0;
+  NodeRef old_right = 0;
+  if (old_ref != 0) {
+    const auto it = node_cache_.find(old_ref);
+    assert(it != node_cache_.end() && "cache not warmed before build");
+    old_left = it->second.left;
+    old_right = it->second.right;
+  }
+  const NodeRef l = build(old_left, lo, mid, writes, out);
+  const NodeRef r = build(old_right, mid, hi, writes, out);
+  const NodeRef ref = store_->node_ref_counter()++;
+  TreeNode node = TreeNode::inner(l, r);
+  node_cache_[ref] = node;
+  out.emplace_back(ref, std::move(node));
+  return ref;
+}
+
+sim::Task<> BlobClient::descend(
+    NodeRef root, std::uint64_t capacity, std::uint64_t lo_chunk,
+    std::uint64_t hi_chunk,
+    std::vector<std::pair<std::uint64_t, ChunkLocation>>* leaves) {
+  struct Frame {
+    NodeRef ref;
+    std::uint64_t lo;
+    std::uint64_t hi;
+  };
+  std::vector<Frame> frontier{{root, 0, capacity}};
+  while (!frontier.empty()) {
+    // Fetch every uncached node of this level in per-provider batches.
+    std::vector<NodeRef> missing;
+    for (const Frame& f : frontier) {
+      if (f.ref != 0 && node_cache_.find(f.ref) == node_cache_.end())
+        missing.push_back(f.ref);
+    }
+    if (!missing.empty()) {
+      co_await store_->metadata().get_nodes(node_, missing, node_cache_);
+    }
+    std::vector<Frame> next;
+    for (const Frame& f : frontier) {
+      if (f.ref == 0) continue;  // hole
+      const TreeNode& node = node_cache_.at(f.ref);
+      if (node.leaf) {
+        if (leaves != nullptr) leaves->emplace_back(f.lo, node.chunk);
+        continue;
+      }
+      const std::uint64_t mid = f.lo + (f.hi - f.lo) / 2;
+      if (node.left != 0 && lo_chunk < mid && f.lo < hi_chunk) {
+        next.push_back(Frame{node.left, f.lo, mid});
+      }
+      if (node.right != 0 && hi_chunk > mid && f.hi > lo_chunk) {
+        next.push_back(Frame{node.right, mid, f.hi});
+      }
+    }
+    frontier = std::move(next);
+  }
+}
+
+sim::Task<common::Buffer> BlobClient::fetch_chunk(const ChunkLocation& loc) {
+  const std::size_t n = loc.replicas.size();
+  const std::size_t start = static_cast<std::size_t>(loc.id) % n;
+  for (std::size_t attempt = 0; attempt < n; ++attempt) {
+    const net::NodeId replica = loc.replicas[(start + attempt) % n];
+    DataProvider* provider = store_->provider_at(replica);
+    if (provider == nullptr || !provider->has(loc.id)) continue;
+    co_return co_await provider->fetch(node_, loc.id);
+  }
+  // The metadata lists where the replicas were at write time; after a node
+  // loss the repair service may have re-homed the chunk. Ask the provider
+  // manager where it lives now before declaring it lost.
+  const std::vector<net::NodeId> current =
+      co_await store_->provider_manager().locate(node_, loc.id);
+  for (const net::NodeId replica : current) {
+    DataProvider* provider = store_->provider_at(replica);
+    if (provider == nullptr || !provider->has(loc.id)) continue;
+    co_return co_await provider->fetch(node_, loc.id);
+  }
+  throw BlobError("all replicas of chunk lost");
+}
+
+sim::Task<common::Buffer> BlobClient::read(BlobId blob, VersionId version,
+                                           std::uint64_t offset,
+                                           std::uint64_t len) {
+  const VersionEntry entry = co_await resolve(blob, version);
+  if (offset + len > entry.size && entry.size != 0) {
+    // Reads past the logical end are clipped like a sparse file.
+    len = offset < entry.size ? entry.size - offset : 0;
+  }
+  if (len == 0 || entry.root == 0) co_return common::Buffer::zeros(len);
+  const std::uint64_t chunk_size = entry.chunk_size;
+  const std::uint64_t lo_chunk = offset / chunk_size;
+  const std::uint64_t hi_chunk = (offset + len + chunk_size - 1) / chunk_size;
+
+  std::vector<std::pair<std::uint64_t, ChunkLocation>> leaves;
+  co_await descend(entry.root, capacity_chunks(), lo_chunk, hi_chunk, &leaves);
+
+  // Fetch all covered chunks (window-limited), then assemble.
+  struct Fetched {
+    std::uint64_t index;
+    common::Buffer data;
+  };
+  auto results = std::make_shared<std::vector<Fetched>>();
+  std::vector<sim::Task<>> fetches;
+  for (const auto& [index, loc] : leaves) {
+    fetches.push_back(
+        [](BlobClient* self, std::uint64_t idx, ChunkLocation l,
+           std::shared_ptr<std::vector<Fetched>> res) -> sim::Task<> {
+          common::Buffer data = co_await self->fetch_chunk(l);
+          res->push_back(Fetched{idx, std::move(data)});
+        }(this, index, loc, results));
+  }
+  co_await sim::run_window(store_->simulation(), store_->config().read_window,
+                           std::move(fetches));
+
+  // Ordered piecewise assembly (holes read as zeros).
+  std::sort(results->begin(), results->end(),
+            [](const Fetched& a, const Fetched& b) { return a.index < b.index; });
+  common::Buffer out;
+  std::uint64_t cursor = offset;
+  for (Fetched& f : *results) {
+    const std::uint64_t chunk_begin = f.index * chunk_size;
+    const std::uint64_t copy_begin = std::max(chunk_begin, offset);
+    const std::uint64_t copy_end =
+        std::min(chunk_begin + f.data.size(), offset + len);
+    if (copy_begin >= copy_end) continue;
+    if (copy_begin > cursor) out.append(common::Buffer::zeros(copy_begin - cursor));
+    out.append(
+        f.data.slice(copy_begin - chunk_begin, copy_end - copy_begin));
+    cursor = copy_end;
+  }
+  if (cursor < offset + len) {
+    out.append(common::Buffer::zeros(offset + len - cursor));
+  }
+  bytes_read_ += len;
+  co_return out;
+}
+
+sim::Task<> BlobClient::prefetch_metadata(BlobId blob, VersionId version,
+                                          std::uint64_t offset,
+                                          std::uint64_t len) {
+  const VersionEntry entry = co_await resolve(blob, version);
+  if (entry.root == 0 || len == 0) co_return;
+  const std::uint64_t chunk_size = entry.chunk_size;
+  const std::uint64_t lo_chunk = offset / chunk_size;
+  const std::uint64_t hi_chunk = (offset + len + chunk_size - 1) / chunk_size;
+  co_await descend(entry.root, capacity_chunks(), lo_chunk, hi_chunk, nullptr);
+}
+
+}  // namespace blobcr::blob

@@ -1,0 +1,128 @@
+// BlobClient: per-node access library for the BlobSeer-style store.
+//
+// WRITE builds new chunks (load-balanced placement from the provider
+// manager, window-limited parallel stores), then path-copies the metadata
+// segment tree (shadowing: all untouched subtrees are shared with the
+// previous version) and publishes a new version.
+//
+// READ descends the tree level-by-level with per-provider batched node
+// fetches, then pulls chunks from replicas (rotating, with fail-over).
+//
+// Immutable tree nodes are cached per client, so repeated commits and warm
+// reads cost few metadata round-trips.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "blob/store.h"
+#include "blob/types.h"
+#include "common/buffer.h"
+
+namespace blobcr::blob {
+
+class BlobClient {
+ public:
+  BlobClient(BlobStore& store, net::NodeId node)
+      : store_(&store), node_(node) {}
+
+  net::NodeId node() const { return node_; }
+
+  sim::Task<BlobId> create(std::uint64_t chunk_size = 0);
+  sim::Task<BlobId> clone(BlobId src, VersionId v);
+  sim::Task<BlobMeta> stat(BlobId blob);
+
+  /// Writes one extent as a new version. Offset must be chunk-aligned.
+  sim::Task<VersionId> write(BlobId blob, std::uint64_t offset,
+                             common::Buffer data);
+
+  /// COMMIT primitive: all extents become ONE new version (one snapshot).
+  /// Extents must be chunk-aligned and non-overlapping.
+  sim::Task<VersionId> write_extents(BlobId blob, std::vector<Extent> extents);
+
+  /// A chunk-aligned extent whose payload is produced on demand.
+  struct ExtentSpec {
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+  };
+  using ExtentReader =
+      std::function<sim::Task<common::Buffer>(std::uint64_t offset,
+                                              std::uint64_t length)>;
+
+  /// Streaming COMMIT: like write_extents, but each chunk's payload is
+  /// pulled through `reader` inside the window-limited store pipeline, so
+  /// producing the data (e.g. reading the mirroring module's local cache
+  /// from disk) overlaps with shipping it to the providers. The caller owns
+  /// `reader` and must keep it alive until this task completes.
+  sim::Task<VersionId> write_extents_via(BlobId blob,
+                                         std::vector<ExtentSpec> extents,
+                                         ExtentReader* reader);
+
+  /// Reads [offset, offset+len) of a version. Unwritten holes read as zeros.
+  sim::Task<common::Buffer> read(BlobId blob, VersionId version,
+                                 std::uint64_t offset, std::uint64_t len);
+
+  /// Warms this client's metadata cache for a byte range (used by restart's
+  /// lazy-fetch path to avoid per-block metadata stalls).
+  sim::Task<> prefetch_metadata(BlobId blob, VersionId version,
+                                std::uint64_t offset, std::uint64_t len);
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::size_t cached_nodes() const { return node_cache_.size(); }
+
+ private:
+  struct VersionKey {
+    BlobId blob;
+    VersionId version;
+    bool operator==(const VersionKey&) const = default;
+  };
+  struct VersionKeyHash {
+    std::size_t operator()(const VersionKey& k) const {
+      return static_cast<std::size_t>(
+          common::mix64(k.blob * 1000003ULL + k.version));
+    }
+  };
+  struct VersionEntry {
+    NodeRef root = 0;
+    std::uint64_t size = 0;
+    std::uint64_t chunk_size = 0;
+  };
+
+  /// Resolves (blob, version) to root/size/chunk_size, consulting the
+  /// version manager once per unseen version. version==0 means latest (never
+  /// cached).
+  sim::Task<VersionEntry> resolve(BlobId blob, VersionId& version);
+
+  /// Level-order descent over [lo_chunk, hi_chunk), fetching uncached nodes
+  /// in per-provider batches. Collects leaves into `leaves` when non-null.
+  sim::Task<> descend(NodeRef root, std::uint64_t capacity,
+                      std::uint64_t lo_chunk, std::uint64_t hi_chunk,
+                      std::vector<std::pair<std::uint64_t, ChunkLocation>>*
+                          leaves);
+
+  /// Path-copy rebuild. Pure (uses only the warmed cache); new nodes are
+  /// appended to `out` and cached.
+  NodeRef build(NodeRef old_ref, std::uint64_t lo, std::uint64_t hi,
+                const std::vector<std::pair<std::uint64_t, ChunkLocation>>&
+                    writes,
+                std::vector<std::pair<NodeRef, TreeNode>>& out);
+
+  sim::Task<common::Buffer> fetch_chunk(const ChunkLocation& loc);
+
+  std::uint64_t capacity_chunks() const {
+    return 1ULL << store_->config().tree_depth;
+  }
+
+  BlobStore* store_;
+  net::NodeId node_;
+  std::unordered_map<NodeRef, TreeNode> node_cache_;
+  std::unordered_map<VersionKey, VersionEntry, VersionKeyHash> version_cache_;
+  std::unordered_map<BlobId, std::uint64_t> chunk_size_cache_;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace blobcr::blob

@@ -1,0 +1,72 @@
+// DataProvider: stores immutable chunks on one compute node's local disk.
+// Chunks arrive over the fabric and are appended to a per-provider log
+// (immutable data => log-structured => the disk stays near streaming rate
+// even with many concurrent writers; see storage/disk.h).
+#pragma once
+
+#include <cstdint>
+
+#include "blob/types.h"
+#include "common/buffer.h"
+#include "net/fabric.h"
+#include "sim/sim.h"
+#include "storage/chunk_store.h"
+#include "storage/disk.h"
+
+namespace blobcr::blob {
+
+class DataProvider {
+ public:
+  DataProvider(sim::Simulation& sim, net::Fabric& fabric, net::NodeId node,
+               storage::Disk& disk, std::uint64_t disk_stream)
+      : sim_(&sim), fabric_(&fabric), node_(node), store_(disk, disk_stream) {}
+
+  net::NodeId node() const { return node_; }
+  bool alive() const { return alive_; }
+
+  /// Fail-stop: all stored chunks are lost.
+  void fail() {
+    alive_ = false;
+    lost_bytes_ = store_.stored_bytes();
+  }
+
+  /// Receives a chunk from `from` and persists it.
+  sim::Task<> store(net::NodeId from, ChunkId id, common::Buffer data) {
+    if (!alive_) throw BlobError("provider down");
+    ++pending_stores_;
+    co_await fabric_->transfer(from, node_, data.size());
+    if (!alive_) {
+      --pending_stores_;
+      throw BlobError("provider died during store");
+    }
+    co_await store_.put(id, std::move(data));
+    --pending_stores_;
+  }
+
+  /// Reads a chunk and ships it to `to`.
+  sim::Task<common::Buffer> fetch(net::NodeId to, ChunkId id) {
+    if (!alive_ || !store_.has(id)) throw BlobError("chunk unavailable");
+    common::Buffer data = co_await store_.get(id);
+    co_await fabric_->transfer(node_, to, data.size());
+    co_return data;
+  }
+
+  bool has(ChunkId id) const { return alive_ && store_.has(id); }
+  bool erase(ChunkId id) { return store_.erase(id); }
+
+  std::uint64_t stored_bytes() const { return alive_ ? store_.stored_bytes() : 0; }
+  std::size_t chunk_count() const { return alive_ ? store_.chunk_count() : 0; }
+  std::size_t pending_stores() const { return pending_stores_; }
+  std::uint64_t lost_bytes() const { return lost_bytes_; }
+
+ private:
+  sim::Simulation* sim_;
+  net::Fabric* fabric_;
+  net::NodeId node_;
+  storage::ChunkStore store_;
+  bool alive_ = true;
+  std::size_t pending_stores_ = 0;
+  std::uint64_t lost_bytes_ = 0;
+};
+
+}  // namespace blobcr::blob

@@ -1,0 +1,97 @@
+// GarbageCollector: reclaims chunks obsoleted by newer checkpoints (the
+// paper's §6 future-work feature). Mark-and-sweep over the persistent trees:
+// a chunk is reclaimable iff it is reachable only from dropped versions —
+// cloning means chunks can be shared across blobs, so the live set spans the
+// entire store. Runs offline (no simulated cost); the ablation bench reports
+// reclaimed space.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "blob/store.h"
+#include "blob/types.h"
+
+namespace blobcr::blob {
+
+class GarbageCollector {
+ public:
+  explicit GarbageCollector(BlobStore& store) : store_(&store) {}
+
+  struct Result {
+    std::uint64_t reclaimed_bytes = 0;
+    std::size_t chunks_deleted = 0;
+  };
+
+  /// Drops versions < keep_from of `blob` and reclaims chunks no longer
+  /// reachable from any live version of any blob.
+  Result collect(BlobId blob, VersionId keep_from) {
+    std::unordered_set<ChunkId> live;
+    std::unordered_map<ChunkId, ChunkLocation> dropped;
+    std::unordered_set<NodeRef> visited;
+
+    for (const auto& [id, meta] : store_->version_manager().all()) {
+      for (const VersionInfo& v : meta.versions) {
+        if (v.root == 0) continue;  // already tombstoned
+        const bool is_dropped = (id == blob && v.id < keep_from);
+        if (is_dropped) continue;
+        mark_live(v.root, live, visited);
+      }
+    }
+    visited.clear();
+    const BlobMeta& target = store_->version_manager().peek(blob);
+    for (const VersionInfo& v : target.versions) {
+      if (v.root == 0 || v.id >= keep_from) continue;
+      collect_chunks(v.root, dropped, visited);
+    }
+
+    Result result;
+    for (const auto& [cid, loc] : dropped) {
+      if (live.count(cid) != 0) continue;
+      bool erased_any = false;
+      for (const net::NodeId node : loc.replicas) {
+        if (DataProvider* p = store_->provider_at(node)) {
+          erased_any = p->erase(cid) || erased_any;
+        }
+      }
+      if (erased_any) {
+        ++result.chunks_deleted;
+        result.reclaimed_bytes += loc.size;
+      }
+    }
+    store_->version_manager().drop_version_records(blob, keep_from);
+    return result;
+  }
+
+ private:
+  void mark_live(NodeRef ref, std::unordered_set<ChunkId>& live,
+                 std::unordered_set<NodeRef>& visited) {
+    if (ref == 0 || !visited.insert(ref).second) return;
+    const TreeNode* node = store_->metadata().peek_node(ref);
+    if (node == nullptr) return;
+    if (node->leaf) {
+      live.insert(node->chunk.id);
+      return;
+    }
+    mark_live(node->left, live, visited);
+    mark_live(node->right, live, visited);
+  }
+
+  void collect_chunks(NodeRef ref,
+                      std::unordered_map<ChunkId, ChunkLocation>& out,
+                      std::unordered_set<NodeRef>& visited) {
+    if (ref == 0 || !visited.insert(ref).second) return;
+    const TreeNode* node = store_->metadata().peek_node(ref);
+    if (node == nullptr) return;
+    if (node->leaf) {
+      out[node->chunk.id] = node->chunk;
+      return;
+    }
+    collect_chunks(node->left, out, visited);
+    collect_chunks(node->right, out, visited);
+  }
+
+  BlobStore* store_;
+};
+
+}  // namespace blobcr::blob

@@ -1,0 +1,117 @@
+// BlobStore: one deployed BlobSeer instance — a version manager, a provider
+// manager, a set of metadata providers and a set of data providers spread
+// over the cluster's compute nodes (paper §3.1.1: the checkpoint repository
+// aggregates part of every compute node's local disk).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "blob/data_provider.h"
+#include "blob/metadata.h"
+#include "blob/provider_manager.h"
+#include "blob/types.h"
+#include "blob/version_manager.h"
+#include "net/fabric.h"
+#include "sim/sim.h"
+#include "storage/disk.h"
+
+namespace blobcr::blob {
+
+class BlobStore {
+ public:
+  struct Config {
+    net::NodeId version_manager_node = 0;
+    net::NodeId provider_manager_node = 0;
+    std::vector<net::NodeId> metadata_nodes;
+    /// (node, disk, disk stream id) per data provider.
+    struct ProviderSlot {
+      net::NodeId node = 0;
+      storage::Disk* disk = nullptr;
+      std::uint64_t disk_stream = 0;
+    };
+    std::vector<ProviderSlot> data_providers;
+
+    std::uint64_t default_chunk_size = 256 * 1024;  // paper: 256 KB stripes
+    std::uint32_t tree_depth = 16;  // leaves = 2^depth chunks per blob
+    int replication = 1;
+    std::size_t write_window = 8;  // outstanding chunk stores per client
+    std::size_t read_window = 8;
+    sim::Duration meta_request_cost = 30 * sim::kMicrosecond;
+    sim::Duration manager_request_cost = 50 * sim::kMicrosecond;
+    std::uint64_t meta_record_bytes = 64;
+  };
+
+  BlobStore(sim::Simulation& sim, net::Fabric& fabric, const Config& cfg)
+      : sim_(&sim), fabric_(&fabric), cfg_(cfg) {
+    for (const auto& slot : cfg.data_providers) {
+      providers_.push_back(std::make_unique<DataProvider>(
+          sim, fabric, slot.node, *slot.disk, slot.disk_stream));
+      by_node_[slot.node] = providers_.back().get();
+    }
+    std::vector<DataProvider*> raw;
+    raw.reserve(providers_.size());
+    for (const auto& p : providers_) raw.push_back(p.get());
+
+    MetadataCluster::Config mcfg;
+    mcfg.nodes = cfg.metadata_nodes;
+    mcfg.per_request_cost = cfg.meta_request_cost;
+    mcfg.node_record_bytes = cfg.meta_record_bytes;
+    metadata_ = std::make_unique<MetadataCluster>(sim, fabric, mcfg);
+
+    provider_manager_ = std::make_unique<ProviderManager>(
+        sim, fabric, cfg.provider_manager_node, std::move(raw),
+        cfg.manager_request_cost);
+    version_manager_ = std::make_unique<VersionManager>(
+        sim, fabric, cfg.version_manager_node, cfg.manager_request_cost);
+  }
+
+  const Config& config() const { return cfg_; }
+  sim::Simulation& simulation() const { return *sim_; }
+  net::Fabric& fabric() const { return *fabric_; }
+  VersionManager& version_manager() { return *version_manager_; }
+  ProviderManager& provider_manager() { return *provider_manager_; }
+  MetadataCluster& metadata() { return *metadata_; }
+
+  DataProvider* provider_at(net::NodeId node) {
+    const auto it = by_node_.find(node);
+    return it == by_node_.end() ? nullptr : it->second;
+  }
+  const std::vector<std::unique_ptr<DataProvider>>& providers() const {
+    return providers_;
+  }
+
+  /// Fail-stop of a compute node takes its data provider down with it.
+  void fail_node(net::NodeId node) {
+    if (DataProvider* p = provider_at(node)) p->fail();
+  }
+
+  /// Aggregate stored chunk payload across live providers.
+  std::uint64_t total_stored_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& p : providers_) total += p->stored_bytes();
+    return total;
+  }
+  std::uint64_t total_meta_bytes() const {
+    return metadata_->stored_meta_bytes();
+  }
+
+  ChunkId& chunk_id_counter() { return next_chunk_id_; }
+  NodeRef& node_ref_counter() { return next_node_ref_; }
+
+ private:
+  sim::Simulation* sim_;
+  net::Fabric* fabric_;
+  Config cfg_;
+  std::vector<std::unique_ptr<DataProvider>> providers_;
+  std::unordered_map<net::NodeId, DataProvider*> by_node_;
+  std::unique_ptr<MetadataCluster> metadata_;
+  std::unique_ptr<ProviderManager> provider_manager_;
+  std::unique_ptr<VersionManager> version_manager_;
+  ChunkId next_chunk_id_ = 1;
+  NodeRef next_node_ref_ = 1;
+};
+
+}  // namespace blobcr::blob

@@ -1,0 +1,88 @@
+// Core identifiers and metadata records for the BlobSeer-style store.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "net/fabric.h"
+#include "sim/time.h"
+
+namespace blobcr::blob {
+
+using BlobId = std::uint64_t;     // 0 = invalid
+using VersionId = std::uint32_t;  // version number within a blob, from 1
+using ChunkId = std::uint64_t;    // globally unique, 0 = invalid
+using NodeRef = std::uint64_t;    // metadata tree node reference, 0 = hole
+
+class BlobError : public std::runtime_error {
+ public:
+  explicit BlobError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Where a chunk's replicas live.
+struct ChunkLocation {
+  ChunkId id = 0;
+  std::uint32_t size = 0;
+  std::vector<net::NodeId> replicas;
+};
+
+/// One node of the persistent (path-copied) metadata segment tree over the
+/// chunk-index space. Inner nodes reference child subtrees; unmodified
+/// subtrees are shared between versions (this is BlobSeer's *shadowing*).
+struct TreeNode {
+  bool leaf = false;
+  NodeRef left = 0;   // inner only
+  NodeRef right = 0;  // inner only
+  ChunkLocation chunk;  // leaf only
+
+  static TreeNode inner(NodeRef l, NodeRef r) {
+    TreeNode n;
+    n.left = l;
+    n.right = r;
+    return n;
+  }
+  static TreeNode make_leaf(ChunkLocation loc) {
+    TreeNode n;
+    n.leaf = true;
+    n.chunk = std::move(loc);
+    return n;
+  }
+};
+
+/// A published snapshot of a blob.
+struct VersionInfo {
+  VersionId id = 0;
+  NodeRef root = 0;
+  std::uint64_t size = 0;            // logical blob size in bytes
+  std::uint64_t new_chunk_bytes = 0; // chunk payload added by this version
+  std::uint64_t new_meta_bytes = 0;  // metadata added by this version
+  sim::Time created = 0;
+};
+
+struct BlobMeta {
+  BlobId id = 0;
+  std::uint64_t chunk_size = 0;
+  BlobId cloned_from = 0;       // 0 if created fresh
+  VersionId cloned_version = 0;
+  std::vector<VersionInfo> versions;  // versions[i].id == i+1
+
+  const VersionInfo& version(VersionId v) const {
+    if (v == 0 || v > versions.size())
+      throw BlobError("unknown version " + std::to_string(v));
+    return versions[v - 1];
+  }
+  VersionId latest() const {
+    return static_cast<VersionId>(versions.size());
+  }
+};
+
+/// A chunk-aligned write extent used by the COMMIT primitive.
+struct Extent {
+  std::uint64_t offset = 0;
+  common::Buffer data;
+};
+
+}  // namespace blobcr::blob

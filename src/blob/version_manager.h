@@ -1,0 +1,120 @@
+// VersionManager: the serialization point of the store. Assigns version
+// numbers, records version -> (tree root, size) mappings and the blob
+// registry, and implements CLONE (a new blob whose first version shares the
+// source root — zero data copied).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "blob/types.h"
+#include "net/fabric.h"
+#include "net/service.h"
+#include "sim/sim.h"
+
+namespace blobcr::blob {
+
+class VersionManager {
+ public:
+  VersionManager(sim::Simulation& sim, net::Fabric& fabric, net::NodeId node,
+                 sim::Duration per_request_cost = 100 * sim::kMicrosecond)
+      : sim_(&sim), fabric_(&fabric), node_(node),
+        service_(sim, "version-manager", per_request_cost) {}
+
+  net::NodeId node() const { return node_; }
+
+  sim::Task<BlobId> create(net::NodeId client, std::uint64_t chunk_size) {
+    co_await round_trip(client);
+    const BlobId id = next_blob_id_++;
+    BlobMeta meta;
+    meta.id = id;
+    meta.chunk_size = chunk_size;
+    blobs_[id] = std::move(meta);
+    co_return id;
+  }
+
+  /// CLONE: a standalone blob sharing all content with (src, v).
+  sim::Task<BlobId> clone(net::NodeId client, BlobId src, VersionId v) {
+    co_await round_trip(client);
+    const BlobMeta& source = lookup(src);
+    const VersionInfo& sv = source.version(v);
+    const BlobId id = next_blob_id_++;
+    BlobMeta meta;
+    meta.id = id;
+    meta.chunk_size = source.chunk_size;
+    meta.cloned_from = src;
+    meta.cloned_version = v;
+    VersionInfo v1;
+    v1.id = 1;
+    v1.root = sv.root;
+    v1.size = sv.size;
+    v1.created = sim_->now();
+    meta.versions.push_back(v1);
+    blobs_[id] = std::move(meta);
+    co_return id;
+  }
+
+  /// Publishes a new version (shadowed snapshot). Serialized per store.
+  sim::Task<VersionId> publish(net::NodeId client, BlobId blob, NodeRef root,
+                               std::uint64_t size, std::uint64_t new_chunk_bytes,
+                               std::uint64_t new_meta_bytes) {
+    co_await round_trip(client);
+    BlobMeta& meta = lookup(blob);
+    VersionInfo v;
+    v.id = static_cast<VersionId>(meta.versions.size() + 1);
+    v.root = root;
+    v.size = size;
+    v.new_chunk_bytes = new_chunk_bytes;
+    v.new_meta_bytes = new_meta_bytes;
+    v.created = sim_->now();
+    meta.versions.push_back(v);
+    co_return v.id;
+  }
+
+  sim::Task<BlobMeta> stat(net::NodeId client, BlobId blob) {
+    co_await round_trip(client);
+    co_return lookup(blob);
+  }
+
+  /// Zero-cost accessors for in-process bookkeeping (benchmark harness,
+  /// garbage collector) — not part of the simulated client protocol.
+  const BlobMeta& peek(BlobId blob) const {
+    const auto it = blobs_.find(blob);
+    if (it == blobs_.end()) throw BlobError("unknown blob");
+    return it->second;
+  }
+  bool exists(BlobId blob) const { return blobs_.find(blob) != blobs_.end(); }
+  const std::unordered_map<BlobId, BlobMeta>& all() const { return blobs_; }
+  std::uint64_t requests_served() const { return service_.requests_served(); }
+
+  /// Removes version records < keep_from for a blob (GC support; chunk
+  /// reclamation is handled by the garbage collector which walks trees).
+  void drop_version_records(BlobId blob, VersionId keep_from) {
+    BlobMeta& meta = lookup(blob);
+    for (VersionId v = 1; v < keep_from && v <= meta.versions.size(); ++v) {
+      meta.versions[v - 1].root = 0;  // tombstone
+    }
+  }
+
+ private:
+  BlobMeta& lookup(BlobId blob) {
+    const auto it = blobs_.find(blob);
+    if (it == blobs_.end()) throw BlobError("unknown blob");
+    return it->second;
+  }
+
+  sim::Task<> round_trip(net::NodeId client) {
+    co_await fabric_->message(client, node_);
+    co_await service_.process();
+    co_await fabric_->message(node_, client);
+  }
+
+  sim::Simulation* sim_;
+  net::Fabric* fabric_;
+  net::NodeId node_;
+  net::ServiceQueue service_;
+  BlobId next_blob_id_ = 1;
+  std::unordered_map<BlobId, BlobMeta> blobs_;
+};
+
+}  // namespace blobcr::blob

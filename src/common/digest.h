@@ -1,0 +1,32 @@
+// Content digests for end-to-end data integrity checks (FNV-1a 64-bit).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace blobcr::common {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a_step(std::uint64_t h, std::uint8_t byte) {
+  return (h ^ byte) * kFnvPrime;
+}
+
+inline std::uint64_t fnv1a(std::span<const std::byte> data,
+                           std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (const std::byte b : data) h = fnv1a_step(h, std::to_integer<std::uint8_t>(b));
+  return h;
+}
+
+constexpr std::uint64_t fnv1a(std::string_view text,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (const char c : text) h = fnv1a_step(h, static_cast<std::uint8_t>(c));
+  return h;
+}
+
+}  // namespace blobcr::common

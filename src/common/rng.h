@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation (SplitMix64 seeding +
+// xoshiro256** state). The whole simulator must be reproducible from a single
+// seed, so no std::random_device anywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace blobcr::common {
+
+/// SplitMix64 step; also usable as a cheap integer mixer / hash finalizer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes a value once (stateless convenience wrapper over splitmix64).
+constexpr std::uint64_t mix64(std::uint64_t v) {
+  std::uint64_t s = v;
+  return splitmix64(s);
+}
+
+/// xoshiro256** — fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'b10b'c0de'cafeULL) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derives an independent child stream; used to give each simulated entity
+  /// its own generator without correlation.
+  Rng fork(std::uint64_t stream_id) {
+    return Rng(next_u64() ^ mix64(stream_id));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace blobcr::common

@@ -1,0 +1,50 @@
+// SparseFile: an in-memory sparse byte container (holes read as zeros) used
+// as the payload representation for PVFS files, local host files and qcow
+// containers. Handles phantom payloads with the same contagion rule as
+// Buffer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace blobcr::common {
+
+class SparseFile {
+ public:
+  void write(std::uint64_t offset, Buffer data);
+
+  /// Reads [offset, offset+len); holes are zeros. If any byte of the range
+  /// comes from a phantom extent, the result is phantom.
+  Buffer read(std::uint64_t offset, std::uint64_t len) const;
+
+  /// Exact written pieces of [offset, offset+len) — holes skipped, adjacent
+  /// pieces of equal phantomness merged (capped at max_piece). Lets a copy
+  /// preserve real content next to phantom content instead of contaminating
+  /// the whole range.
+  std::vector<std::pair<std::uint64_t, Buffer>> read_extents(
+      std::uint64_t offset, std::uint64_t len,
+      std::uint64_t max_piece = 4 * 1024 * 1024) const;
+
+  /// Total bytes covered by extents.
+  std::uint64_t allocated_bytes() const { return allocated_; }
+  /// One past the last written byte.
+  std::uint64_t size() const { return size_; }
+  bool empty() const { return extents_.empty(); }
+  std::size_t extent_count() const { return extents_.size(); }
+  void clear();
+
+  /// Removes [offset, offset+len) (punches a hole).
+  void erase(std::uint64_t offset, std::uint64_t len);
+
+ private:
+  // offset -> payload; disjoint.
+  std::map<std::uint64_t, Buffer> extents_;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace blobcr::common

@@ -1,0 +1,431 @@
+#include "core/cloud.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strutil.h"
+#include "img/mem_device.h"
+#include "sim/when_all.h"
+#include "vm/guest_os.h"
+
+namespace blobcr::core {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::BlobCR:
+      return "BlobCR";
+    case Backend::Qcow2Disk:
+      return "qcow2-disk";
+    case Backend::Qcow2Full:
+      return "qcow2-full";
+  }
+  return "?";
+}
+
+// --- Cloud -------------------------------------------------------------------
+
+Cloud::Cloud(CloudConfig cfg) : cfg_(std::move(cfg)) {
+  // Node layout: [0, C) compute nodes, then service nodes.
+  const std::size_t c = cfg_.compute_nodes;
+  std::size_t total = c;
+  const net::NodeId vm_mgr = static_cast<net::NodeId>(total++);
+  const net::NodeId pm = static_cast<net::NodeId>(total++);
+  std::vector<net::NodeId> meta_nodes;
+  for (std::size_t i = 0; i < cfg_.metadata_nodes; ++i) {
+    meta_nodes.push_back(static_cast<net::NodeId>(total++));
+  }
+  const net::NodeId pvfs_meta = static_cast<net::NodeId>(total++);
+
+  net::Fabric::Config fcfg;
+  fcfg.node_count = total;
+  fcfg.nic_bandwidth_bps = cfg_.nic_bandwidth_bps;
+  fcfg.latency = cfg_.net_latency;
+  fabric_ = std::make_unique<net::Fabric>(sim_, fcfg);
+
+  storage::Disk::Config dcfg;
+  dcfg.bandwidth_bps = cfg_.disk_bandwidth_bps;
+  dcfg.position_cost = cfg_.disk_position_cost;
+  disks_.reserve(total);
+  streams_.resize(total);
+  for (std::size_t n = 0; n < total; ++n) {
+    disks_.push_back(std::make_unique<storage::Disk>(
+        sim_, "disk" + std::to_string(n), dcfg));
+  }
+
+  if (cfg_.backend == Backend::BlobCR) {
+    blob::BlobStore::Config bcfg;
+    bcfg.version_manager_node = vm_mgr;
+    bcfg.provider_manager_node = pm;
+    bcfg.metadata_nodes = meta_nodes;
+    for (std::size_t n = 0; n < c; ++n) {
+      bcfg.data_providers.push_back({static_cast<net::NodeId>(n),
+                                     disks_[n].get(),
+                                     streams_[n].next()});
+    }
+    bcfg.default_chunk_size = cfg_.chunk_size;
+    bcfg.replication = cfg_.replication;
+    blob_ = std::make_unique<blob::BlobStore>(sim_, *fabric_, bcfg);
+  } else {
+    pfs::PvfsCluster::Config pcfg;
+    pcfg.meta_node = pvfs_meta;
+    for (std::size_t n = 0; n < c; ++n) {
+      pcfg.io_servers.push_back(
+          {static_cast<net::NodeId>(n), disks_[n].get()});
+    }
+    pcfg.stripe_size = cfg_.pvfs_stripe;
+    pvfs_ = std::make_unique<pfs::PvfsCluster>(sim_, *fabric_, pcfg);
+  }
+}
+
+Cloud::~Cloud() {
+  // Kill any still-live processes while the services they reference exist.
+  sim_.shutdown();
+}
+
+void Cloud::run(sim::Task<> body) {
+  auto p = sim_.spawn("driver", std::move(body));
+  sim_.run();
+  if (p->error()) std::rethrow_exception(p->error());
+  if (!p->finished()) {
+    // The queue drained with the driver still blocked: some process it was
+    // waiting on died or deadlocked. Surface any failed process's error.
+    sim_.shutdown();
+    throw std::runtime_error(
+        "simulation stalled: driver blocked when the event queue drained "
+        "(a guest process likely failed before reaching a barrier)");
+  }
+}
+
+sim::Task<> Cloud::provision_base_image() {
+  if (base_uploaded_) co_return;
+  // Author the image offline.
+  img::MemDevice author(cfg_.os.image_size);
+  co_await vm::GuestOs::build_image(author, cfg_.os);
+  base_content_ = author.content();
+
+  // Upload from the client side (node 0 stands in for the cloud client's
+  // entry point; upload time is part of provisioning, not of any figure).
+  if (cfg_.backend == Backend::BlobCR) {
+    blob::BlobClient client(*blob_, compute_node(0));
+    base_blob_ = co_await client.create(cfg_.chunk_size);
+    // Chunk-aligned extents; FS regions are 256 KiB-aligned so real
+    // metadata never shares a chunk with phantom data.
+    std::vector<blob::Extent> extents;
+    const std::uint64_t cs = cfg_.chunk_size;
+    const std::uint64_t end = base_content_.size();  // last written byte
+    std::uint64_t run_begin = 0;
+    bool in_run = false;
+    common::Buffer run_data;
+    for (std::uint64_t off = 0; off < end; off += cs) {
+      const std::uint64_t len = std::min(cs, end - off);
+      common::Buffer piece = base_content_.read(off, len);
+      if (!in_run) {
+        run_begin = off;
+        run_data = std::move(piece);
+        in_run = true;
+      } else {
+        run_data.overwrite(off - run_begin, piece);
+      }
+      if (run_data.size() >= 64 * cs) {  // bound extent size
+        extents.push_back({run_begin, std::move(run_data)});
+        run_data = common::Buffer();
+        in_run = false;
+      }
+    }
+    if (in_run) extents.push_back({run_begin, std::move(run_data)});
+    (void)co_await client.write_extents(base_blob_, std::move(extents));
+  } else {
+    base_pvfs_path_ = "/images/base.raw";
+    pfs::PvfsClient client(*pvfs_, compute_node(0));
+    const pfs::FileId file = co_await client.create(base_pvfs_path_);
+    // Ship the authored extents as-is (raw image on PVFS).
+    std::uint64_t off = 0;
+    const std::uint64_t total = base_content_.size();
+    constexpr std::uint64_t kPiece = 16 * 1024 * 1024;
+    while (off < total) {
+      const std::uint64_t len = std::min(kPiece, total - off);
+      co_await client.write(file, off, base_content_.read(off, len));
+      off += len;
+    }
+  }
+  base_uploaded_ = true;
+}
+
+void Cloud::fail_node(net::NodeId node) {
+  if (blob_) blob_->fail_node(node);
+}
+
+std::uint64_t Cloud::repository_bytes() const {
+  if (blob_) return blob_->total_stored_bytes() + blob_->total_meta_bytes();
+  if (pvfs_) return pvfs_->total_stored_bytes();
+  return 0;
+}
+
+// --- Deployment -----------------------------------------------------------------
+
+Deployment::Deployment(Cloud& cloud, std::size_t instances,
+                       std::size_t node_offset)
+    : cloud_(&cloud),
+      count_(instances),
+      node_offset_(node_offset),
+      seq_(cloud.next_deployment_seq()) {
+  bus_ = std::make_unique<PrefetchBus>(cloud.simulation(),
+                                       cloud.config().hint_latency);
+  mpi_ = std::make_unique<mpi::MpiWorld>(cloud.simulation(), cloud.fabric());
+}
+
+Deployment::~Deployment() { destroy_all(); }
+
+void Deployment::build_instance_fresh(std::size_t i, net::NodeId node) {
+  auto inst = std::make_unique<Instance>();
+  inst->index = i;
+  inst->node = node;
+  Cloud& cloud = *cloud_;
+  const CloudConfig& cfg = cloud.config();
+
+  if (cfg.backend == Backend::BlobCR) {
+    MirrorDevice::Config mcfg;
+    mcfg.capacity = cloud.image_size();
+    inst->mirror = std::make_unique<MirrorDevice>(
+        *cloud.blob_store(), node, cloud.disk(node),
+        cloud.next_disk_stream(node), cloud.base_blob(), 1, mcfg,
+        cfg.adaptive_prefetch ? bus_.get() : nullptr);
+    inst->proxy = std::make_unique<CheckpointProxy>(
+        cloud.simulation(), cloud.fabric(), node, cfg.proxy_auth_cost);
+  } else {
+    // The qcow chain is opened inside boot_instance (needs a coroutine).
+    inst->qdisk_proxy = std::make_unique<QcowDiskProxy>(
+        cloud.simulation(), cloud.fabric(), node, cfg.proxy_auth_cost);
+    inst->qfull_proxy = std::make_unique<QcowFullProxy>(
+        cloud.simulation(), cloud.fabric(), node, cfg.proxy_auth_cost);
+  }
+  instances_.push_back(std::move(inst));
+}
+
+sim::Task<> Deployment::boot_instance(std::size_t i) {
+  Instance& inst = *instances_.at(i);
+  Cloud& cloud = *cloud_;
+  const CloudConfig& cfg = cloud.config();
+
+  if (cfg.backend != Backend::BlobCR && !inst.qcow) {
+    // qemu-img create -b <base-on-pvfs> <local qcow2>.
+    auto backing = co_await pfs::PvfsFileStore::open(
+        *cloud.pvfs(), inst.node, cloud.base_pvfs_path(), false);
+    inst.qcow_backing = std::move(backing);
+    inst.qcow_container = std::make_unique<storage::LocalFile>(
+        cloud.disk(inst.node), cloud.next_disk_stream(inst.node));
+    img::QcowImage::Config qcfg;
+    qcfg.cluster_size = cfg.qcow_cluster_size;
+    qcfg.virtual_size = cloud.image_size();
+    inst.qcow = std::make_unique<img::QcowImage>(
+        *inst.qcow_container, inst.qcow_backing.get(), qcfg);
+    inst.qcow_dev = std::make_unique<img::QcowDevice>(*inst.qcow);
+  }
+
+  vm::VmConfig vmc = cfg.vm;
+  vmc.name = common::strf("vm%zu", inst.index);
+  inst.vm = std::make_unique<vm::VmInstance>(cloud.simulation(), inst.node,
+                                             inst.device(), vmc);
+  co_await vm::GuestOs::boot(*inst.vm, cfg.os);
+}
+
+sim::Task<> Deployment::deploy_and_boot() {
+  assert(cloud_->provisioned() && "provision_base_image() first");
+  instances_.clear();
+  for (std::size_t i = 0; i < count_; ++i) {
+    build_instance_fresh(i, cloud_->compute_node(node_offset_ + i));
+  }
+  std::vector<sim::Task<>> boots;
+  boots.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) boots.push_back(boot_instance(i));
+  co_await sim::when_all(cloud_->simulation(), std::move(boots));
+}
+
+sim::Task<InstanceSnapshot> Deployment::snapshot_instance(std::size_t i) {
+  Instance& inst = *instances_.at(i);
+  const CloudConfig& cfg = cloud_->config();
+  InstanceSnapshot snap;
+  snap.instance = i;
+  snap.backend = cfg.backend;
+  ++inst.snapshot_counter;
+
+  if (cfg.backend == Backend::BlobCR) {
+    const CheckpointProxy::Result r =
+        co_await inst.proxy->request_checkpoint(*inst.vm, *inst.mirror);
+    snap.image = r.image;
+    snap.version = r.version;
+    snap.vm_downtime = r.vm_downtime;
+    // Snapshot size: incremental chunk payload + new metadata.
+    const blob::BlobMeta& meta =
+        cloud_->blob_store()->version_manager().peek(r.image);
+    if (r.version != 0) {
+      const blob::VersionInfo& v = meta.version(r.version);
+      snap.bytes = v.new_chunk_bytes + v.new_meta_bytes;
+    }
+  } else if (cfg.backend == Backend::Qcow2Disk) {
+    const std::string path = common::strf(
+        "/ckpt/d%llu_inst%zu_v%llu.qcow2",
+        static_cast<unsigned long long>(seq_), i,
+        static_cast<unsigned long long>(inst.snapshot_counter));
+    const QcowSnapshotResult r = co_await inst.qdisk_proxy->request_checkpoint(
+        *inst.vm, *inst.qcow, *inst.qcow_container, *cloud_->pvfs(), path);
+    snap.pvfs_path = r.pvfs_path;
+    snap.qcow_state = r.state;
+    snap.bytes = r.bytes;
+    snap.vm_downtime = r.vm_downtime;
+  } else {
+    const std::string path = common::strf(
+        "/ckpt/d%llu_inst%zu_full_v%llu.qcow2",
+        static_cast<unsigned long long>(seq_), i,
+        static_cast<unsigned long long>(inst.snapshot_counter));
+    const QcowSnapshotResult r = co_await inst.qfull_proxy->request_checkpoint(
+        *inst.vm, *inst.qcow, *inst.qcow_container, *cloud_->pvfs(), path,
+        inst.last_snapshot.pvfs_path);
+    snap.pvfs_path = r.pvfs_path;
+    snap.qcow_state = r.state;
+    snap.bytes = r.bytes;
+    snap.vm_downtime = r.vm_downtime;
+  }
+  inst.last_snapshot = snap;
+  co_return snap;
+}
+
+sim::Task<GlobalCheckpoint> Deployment::checkpoint_all() {
+  auto result = std::make_shared<GlobalCheckpoint>();
+  result->snapshots.resize(count_);
+  std::vector<sim::Task<>> tasks;
+  tasks.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    tasks.push_back(
+        [](Deployment* self, std::size_t idx,
+           std::shared_ptr<GlobalCheckpoint> out) -> sim::Task<> {
+          out->snapshots[idx] = co_await self->snapshot_instance(idx);
+        }(this, i, result));
+  }
+  co_await sim::when_all(cloud_->simulation(), std::move(tasks));
+  co_return *result;
+}
+
+GlobalCheckpoint Deployment::collect_last_snapshots() const {
+  GlobalCheckpoint ckpt;
+  for (const auto& inst : instances_) {
+    ckpt.snapshots.push_back(inst->last_snapshot);
+  }
+  return ckpt;
+}
+
+void Deployment::destroy_all() {
+  for (auto& inst : instances_) {
+    if (inst && inst->vm) inst->vm->destroy();
+  }
+}
+
+void Deployment::fail_instance(std::size_t i) {
+  Instance& inst = *instances_.at(i);
+  inst.failed = true;
+  if (inst.vm) inst.vm->destroy();
+  cloud_->fail_node(inst.node);
+}
+
+sim::Task<> Deployment::build_instance_from_snapshot(std::size_t i,
+                                                     net::NodeId node,
+                                                     InstanceSnapshot snap) {
+  auto inst = std::make_unique<Instance>();
+  inst->index = i;
+  inst->node = node;
+  inst->last_snapshot = snap;
+  inst->snapshot_counter = 0;
+  Cloud& cloud = *cloud_;
+  const CloudConfig& cfg = cloud.config();
+
+  if (cfg.backend == Backend::BlobCR) {
+    MirrorDevice::Config mcfg;
+    mcfg.capacity = cloud.image_size();
+    inst->mirror = std::make_unique<MirrorDevice>(
+        *cloud.blob_store(), node, cloud.disk(node),
+        cloud.next_disk_stream(node), snap.image, snap.version, mcfg,
+        cfg.adaptive_prefetch ? bus_.get() : nullptr);
+    // Subsequent checkpoints land in the same checkpoint image.
+    inst->mirror->set_checkpoint_blob(snap.image, snap.version);
+    inst->proxy = std::make_unique<CheckpointProxy>(
+        cloud.simulation(), cloud.fabric(), node, cfg.proxy_auth_cost);
+  } else {
+    // The snapshot file is opened straight through the PVFS mount.
+    auto backing = co_await pfs::PvfsFileStore::open(
+        *cloud.pvfs(), node, cloud.base_pvfs_path(), false);
+    inst->qcow_backing = std::move(backing);
+    auto container = co_await pfs::PvfsFileStore::open(
+        *cloud.pvfs(), node, snap.pvfs_path, false);
+    inst->qcow_container = std::move(container);
+    img::QcowImage::Config qcfg;
+    qcfg.cluster_size = cfg.qcow_cluster_size;
+    qcfg.virtual_size = cloud.image_size();
+    inst->qcow = std::make_unique<img::QcowImage>(
+        *inst->qcow_container, inst->qcow_backing.get(), qcfg);
+    co_await inst->qcow->open_existing(snap.qcow_state);
+    inst->qcow_dev = std::make_unique<img::QcowDevice>(*inst->qcow);
+    inst->qdisk_proxy = std::make_unique<QcowDiskProxy>(
+        cloud.simulation(), cloud.fabric(), node, cfg.proxy_auth_cost);
+    inst->qfull_proxy = std::make_unique<QcowFullProxy>(
+        cloud.simulation(), cloud.fabric(), node, cfg.proxy_auth_cost);
+  }
+
+  vm::VmConfig vmc = cfg.vm;
+  vmc.name = common::strf("vm%zu-r", i);
+  inst->vm = std::make_unique<vm::VmInstance>(cloud.simulation(), node,
+                                              inst->device(), vmc);
+  instances_[i] = std::move(inst);
+
+  if (cfg.backend == Backend::Qcow2Full) {
+    // Resume from the full snapshot: load the VM state, no reboot.
+    Instance& ref = *instances_[i];
+    (void)co_await ref.qcow->load_vm_state();
+    co_await cloud.simulation().delay(500 * sim::kMillisecond);  // resume cpu
+    // The resumed guest's file system, re-mounted from the virtual disk.
+    // (The model does not serialize the guest page cache into the RAM
+    // snapshot, so unsynced dirty pages do not survive a full-VM resume.)
+    ref.vm->adopt_fs(co_await guestfs::SimpleFs::mount(ref.device()));
+  } else {
+    co_await vm::GuestOs::boot(*instances_[i]->vm, cfg.os);
+  }
+}
+
+sim::Task<> Deployment::restart_from(GlobalCheckpoint ckpt,
+                                     std::size_t node_offset) {
+  destroy_all();
+  // Fresh namespace for post-restart snapshot files.
+  seq_ = cloud_->next_deployment_seq();
+  node_offset_ = node_offset;
+  count_ = ckpt.snapshots.size();
+  instances_.clear();
+  instances_.resize(count_);
+  std::vector<sim::Task<>> boots;
+  boots.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    boots.push_back(build_instance_from_snapshot(
+        i, cloud_->compute_node(node_offset + i), ckpt.snapshots[i]));
+  }
+  co_await sim::when_all(cloud_->simulation(), std::move(boots));
+}
+
+sim::Task<sim::Duration> Deployment::migrate_instance(std::size_t i,
+                                                      net::NodeId target) {
+  const sim::Time t0 = cloud_->simulation().now();
+  const InstanceSnapshot snap = co_await snapshot_instance(i);
+  instances_.at(i)->vm->destroy();
+  // Fresh namespace: the rebuilt instance's snapshot counter restarts at 0,
+  // and its files must not overwrite the pre-migration checkpoint files.
+  seq_ = cloud_->next_deployment_seq();
+  co_await build_instance_from_snapshot(i, target, snap);
+  co_return cloud_->simulation().now() - t0;
+}
+
+std::uint64_t Deployment::boot_remote_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& inst : instances_) {
+    if (inst && inst->mirror) total += inst->mirror->remote_bytes_fetched();
+  }
+  return total;
+}
+
+}  // namespace blobcr::core

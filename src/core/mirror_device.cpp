@@ -1,0 +1,218 @@
+#include "core/mirror_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blobcr::core {
+
+MirrorDevice::MirrorDevice(blob::BlobStore& store, net::NodeId host,
+                           storage::Disk& local_disk,
+                           std::uint64_t disk_stream,
+                           blob::BlobId backing_blob,
+                           blob::VersionId backing_version, const Config& cfg,
+                           PrefetchBus* bus)
+    : store_(&store),
+      host_(host),
+      disk_(&local_disk),
+      stream_(disk_stream),
+      backing_blob_(backing_blob),
+      backing_version_(backing_version),
+      cfg_(cfg),
+      bus_(bus),
+      client_(store, host),
+      fetch_done_(store.simulation()) {
+  assert(cfg_.capacity > 0);
+  prefetch_slots_ = std::make_unique<sim::Semaphore>(
+      store.simulation(), static_cast<std::int64_t>(cfg_.prefetch_streams));
+  if (bus_ != nullptr) bus_->attach(this);
+}
+
+MirrorDevice::~MirrorDevice() {
+  for (const auto& p : prefetchers_) {
+    if (p && !p->finished()) p->kill();
+  }
+  if (bus_ != nullptr) bus_->detach(this);
+}
+
+std::uint64_t MirrorDevice::chunk_size() const {
+  return store_->config().default_chunk_size;
+}
+
+sim::Task<> MirrorDevice::ensure_available(std::uint64_t begin,
+                                           std::uint64_t end, bool announce) {
+  end = std::min(end, cfg_.capacity);
+  if (begin >= end) co_return;
+  while (!available_.contains(begin, end)) {
+    const auto gaps = available_.gaps(begin, end);
+    assert(!gaps.empty());
+    const common::Range gap = gaps.front();
+    // If someone else is already fetching this gap, wait for progress.
+    const auto free_parts = inflight_.gaps(gap.begin, gap.end);
+    if (free_parts.empty()) {
+      co_await fetch_done_.wait();
+      continue;
+    }
+    const common::Range part = free_parts.front();
+    inflight_.insert(part.begin, part.end);
+    if (announce && bus_ != nullptr) {
+      bus_->announce(this, part.begin, part.end - part.begin);
+    }
+    common::Buffer data;
+    bool failed = false;
+    try {
+      data = co_await client_.read(backing_blob_, backing_version_,
+                                   part.begin, part.end - part.begin);
+    } catch (...) {
+      inflight_.erase(part.begin, part.end);
+      fetch_done_.set();
+      fetch_done_.reset();
+      failed = true;
+    }
+    if (failed) throw blob::BlobError("mirror fetch failed");
+    if (data.size() < part.end - part.begin) {
+      data.resize(part.end - part.begin);  // backing hole reads zeros
+    }
+    remote_fetched_ += data.size();
+    // Only fill bytes that are still missing — a concurrent guest write
+    // must never be clobbered by stale backing content.
+    for (const common::Range& missing :
+         available_.gaps(part.begin, part.end)) {
+      cache_.write(missing.begin,
+                   data.slice(missing.begin - part.begin, missing.length()));
+      available_.insert(missing.begin, missing.end);
+    }
+    co_await disk_->write(stream_, part.begin, part.end - part.begin);
+    inflight_.erase(part.begin, part.end);
+    // Pulse waiters.
+    fetch_done_.set();
+    fetch_done_.reset();
+  }
+}
+
+sim::Task<common::Buffer> MirrorDevice::read(std::uint64_t offset,
+                                             std::uint64_t len) {
+  if (offset + len > cfg_.capacity)
+    len = offset < cfg_.capacity ? cfg_.capacity - offset : 0;
+  if (len == 0) co_return common::Buffer();
+  // Charge local-disk time only for content that was already cached (fresh
+  // fetches are served from memory as they land).
+  std::uint64_t pre_cached = 0;
+  for (const common::Range& r : available_.intersection(offset, offset + len))
+    pre_cached += r.length();
+  co_await ensure_available(offset, offset + len, /*announce=*/true);
+  if (pre_cached > 0) co_await disk_->read(stream_, offset, pre_cached);
+  co_return cache_.read(offset, len);
+}
+
+sim::Task<> MirrorDevice::write(std::uint64_t offset, common::Buffer data) {
+  const std::uint64_t len = data.size();
+  if (len == 0) co_return;
+  if (offset + len > cfg_.capacity)
+    throw std::runtime_error("mirror write beyond capacity");
+  cache_.write(offset, std::move(data));
+  available_.insert(offset, offset + len);
+  dirty_.insert(offset, offset + len);
+  co_await disk_->write(stream_, offset, len);
+}
+
+sim::Task<blob::BlobId> MirrorDevice::ioctl_clone() {
+  if (ckpt_blob_ == 0) {
+    ckpt_blob_ = co_await client_.clone(backing_blob_, backing_version_);
+  }
+  co_return ckpt_blob_;
+}
+
+sim::Task<blob::VersionId> MirrorDevice::ioctl_commit() {
+  co_await ioctl_clone();
+  // Round dirty ranges out to chunk boundaries (the repository stores whole
+  // chunks; the remainder of a partially-dirty chunk is copied up from the
+  // backing snapshot if not locally present).
+  const std::uint64_t cs = chunk_size();
+  common::RangeSet rounded;
+  for (const common::Range& d : dirty_.to_vector()) {
+    const std::uint64_t lo = d.begin / cs * cs;
+    const std::uint64_t hi = std::min((d.end + cs - 1) / cs * cs,
+                                      cfg_.capacity);
+    rounded.insert(lo, hi);
+  }
+  if (rounded.empty()) {
+    // Unchanged disk: the previous snapshot already captures this state.
+    last_commit_payload_ = 0;
+    co_return last_version_;
+  }
+
+  // Copy-up whatever part of the rounded ranges is not locally present.
+  std::vector<blob::BlobClient::ExtentSpec> specs;
+  std::uint64_t payload = 0;
+  for (const common::Range& r : rounded.to_vector()) {
+    co_await ensure_available(r.begin, r.end, /*announce=*/false);
+    specs.push_back({r.begin, r.length()});
+    payload += r.length();
+  }
+  // Stream the commit: chunks are read from the local cache disk inside the
+  // store pipeline, overlapping local I/O with provider transfers. Reads
+  // are spooled with 4 MiB readahead (the FUSE module scans its
+  // modification log sequentially), so the local disk stays near streaming
+  // rate instead of seeking per 256 KiB chunk.
+  struct Spool {
+    common::RangeSet done;
+    common::RangeSet ranges;
+  };
+  Spool spool;
+  spool.ranges = rounded;
+  Spool* sp = &spool;  // outlives the pipeline (this frame awaits it)
+  constexpr std::uint64_t kReadahead = 4 * 1024 * 1024;
+  blob::BlobClient::ExtentReader reader =
+      [this, sp](std::uint64_t offset,
+                 std::uint64_t length) -> sim::Task<common::Buffer> {
+    if (!sp->done.contains(offset, offset + length)) {
+      // Spool forward within the dirty range containing this chunk.
+      std::uint64_t spool_end = offset + length;
+      for (const common::Range& full : sp->ranges.to_vector()) {
+        if (full.begin <= offset && offset < full.end) {
+          spool_end = std::max(spool_end,
+                               std::min(full.end, offset + kReadahead));
+          break;
+        }
+      }
+      // Reserve before awaiting so concurrent window slots don't issue
+      // overlapping reads; readahead means their data is already streaming.
+      sp->done.insert(offset, spool_end);
+      co_await disk_->read(stream_, offset, spool_end - offset);
+    }
+    co_return cache_.read(offset, length);
+  };
+  const blob::VersionId v =
+      co_await client_.write_extents_via(ckpt_blob_, std::move(specs),
+                                         &reader);
+  dirty_.clear();
+  last_commit_payload_ = payload;
+  last_version_ = v;
+  co_return v;
+}
+
+void MirrorDevice::hint(std::uint64_t offset, std::uint64_t len) {
+  const std::uint64_t end = std::min(offset + len, cfg_.capacity);
+  if (offset >= end) return;
+  if (available_.contains(offset, end)) return;
+  // Prune finished workers, then spawn a background fetch.
+  std::erase_if(prefetchers_,
+                [](const sim::ProcessPtr& p) { return !p || p->finished(); });
+  prefetchers_.push_back(store_->simulation().spawn(
+      "prefetch", prefetch_worker(offset, end)));
+}
+
+sim::Task<> MirrorDevice::prefetch_worker(std::uint64_t begin,
+                                          std::uint64_t end) {
+  co_await prefetch_slots_->acquire();
+  bool failed = false;
+  try {
+    co_await ensure_available(begin, end, /*announce=*/false);
+  } catch (...) {
+    failed = true;  // backing unavailable: demand path will surface it
+  }
+  (void)failed;
+  prefetch_slots_->release();
+}
+
+}  // namespace blobcr::core

@@ -1,0 +1,147 @@
+// MirrorDevice: BlobCR's mirroring module (paper §3.2/§3.3, built on FUSE in
+// the original). Exposes a raw-image BlockDevice to the hypervisor while:
+//
+//  * lazily fetching the hot content of the backing snapshot from the
+//    checkpoint repository on first access ("lazy transfer"), caching it on
+//    the compute node's local disk;
+//  * storing guest writes locally as incremental differences (COW);
+//  * serving the CLONE ioctl — derive the checkpoint image from the base
+//    image (zero-copy, shares all content);
+//  * serving the COMMIT ioctl — publish the local modifications since the
+//    last commit as one new incremental snapshot of the checkpoint image;
+//  * cooperating with a deployment-wide PrefetchBus: chunks one instance
+//    fetched are pushed ahead of time to the others ("adaptive
+//    prefetching", exploiting boot jitter between instances).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blob/client.h"
+#include "blob/store.h"
+#include "common/rangeset.h"
+#include "common/sparse.h"
+#include "img/block_device.h"
+#include "storage/disk.h"
+
+namespace blobcr::core {
+
+class PrefetchBus;
+
+class MirrorDevice : public img::BlockDevice {
+ public:
+  struct Config {
+    std::uint64_t capacity = 0;
+    std::size_t prefetch_streams = 2;  // background fetches in flight
+  };
+
+  MirrorDevice(blob::BlobStore& store, net::NodeId host,
+               storage::Disk& local_disk, std::uint64_t disk_stream,
+               blob::BlobId backing_blob, blob::VersionId backing_version,
+               const Config& cfg, PrefetchBus* bus = nullptr);
+  ~MirrorDevice() override;
+
+  // --- BlockDevice ---
+  std::uint64_t capacity() const override { return cfg_.capacity; }
+  sim::Task<> write(std::uint64_t offset, common::Buffer data) override;
+  sim::Task<common::Buffer> read(std::uint64_t offset,
+                                 std::uint64_t len) override;
+
+  // --- ioctls (invoked by the checkpointing proxy) ---
+  /// Derives the checkpoint image from the backing image if not yet done.
+  sim::Task<blob::BlobId> ioctl_clone();
+  /// Commits local modifications since the last commit as a new snapshot.
+  /// Returns the new version of the checkpoint image.
+  sim::Task<blob::VersionId> ioctl_commit();
+
+  /// Restarted instances commit straight into their backing checkpoint
+  /// image rather than cloning a new one.
+  void set_checkpoint_blob(blob::BlobId blob, blob::VersionId last_version) {
+    ckpt_blob_ = blob;
+    last_version_ = last_version;
+  }
+  blob::BlobId checkpoint_blob() const { return ckpt_blob_; }
+  /// Most recent snapshot of the checkpoint image (0 if none yet).
+  blob::VersionId last_version() const { return last_version_; }
+  blob::BlobId backing_blob() const { return backing_blob_; }
+  blob::VersionId backing_version() const { return backing_version_; }
+
+  std::uint64_t dirty_bytes() const { return dirty_.total_length(); }
+  std::uint64_t locally_available_bytes() const {
+    return available_.total_length();
+  }
+  std::uint64_t remote_bytes_fetched() const { return remote_fetched_; }
+  std::uint64_t last_commit_payload() const { return last_commit_payload_; }
+
+  /// Prefetch hint from the bus: fetch [offset, offset+len) in the
+  /// background if missing.
+  void hint(std::uint64_t offset, std::uint64_t len);
+
+  net::NodeId host() const { return host_; }
+
+ private:
+  friend class PrefetchBus;
+
+  std::uint64_t chunk_size() const;
+  /// Fetches the chunk-aligned gaps of [begin, end) from the backing
+  /// snapshot into the local cache. Announces on-demand fetches to the bus.
+  sim::Task<> ensure_available(std::uint64_t begin, std::uint64_t end,
+                               bool announce);
+  sim::Task<> prefetch_worker(std::uint64_t begin, std::uint64_t end);
+
+  blob::BlobStore* store_;
+  net::NodeId host_;
+  storage::Disk* disk_;
+  std::uint64_t stream_;
+  blob::BlobId backing_blob_;
+  blob::VersionId backing_version_;
+  Config cfg_;
+  PrefetchBus* bus_;
+  blob::BlobClient client_;
+
+  common::SparseFile cache_;      // local content (fetched + written)
+  common::RangeSet available_;    // byte ranges present locally
+  common::RangeSet dirty_;        // modified since last commit
+  common::RangeSet inflight_;     // fetches in progress (dedup)
+  sim::Event fetch_done_;         // pulsed whenever a fetch completes
+  blob::BlobId ckpt_blob_ = 0;
+  blob::VersionId last_version_ = 0;
+  std::uint64_t remote_fetched_ = 0;
+  std::uint64_t last_commit_payload_ = 0;
+  std::vector<sim::ProcessPtr> prefetchers_;
+  std::unique_ptr<sim::Semaphore> prefetch_slots_;
+};
+
+/// Deployment-scoped prefetch coordination: one instance's on-demand fetch
+/// becomes a hint to every other instance, which pulls the same range from
+/// its own backing snapshot ahead of demand. Hints travel as control-plane
+/// messages (modeled as a fixed latency, not per-pair data flows).
+class PrefetchBus {
+ public:
+  PrefetchBus(sim::Simulation& sim, sim::Duration hint_latency)
+      : sim_(&sim), hint_latency_(hint_latency) {}
+
+  void attach(MirrorDevice* m) { mirrors_.push_back(m); }
+  void detach(MirrorDevice* m) { std::erase(mirrors_, m); }
+
+  void announce(MirrorDevice* self, std::uint64_t offset, std::uint64_t len) {
+    // Deduplicate: each aligned range is broadcast once per deployment.
+    if (announced_.contains(offset, offset + len)) return;
+    announced_.insert(offset, offset + len);
+    for (MirrorDevice* m : mirrors_) {
+      if (m == self) continue;
+      sim_->call_in(hint_latency_, [m, offset, len] { m->hint(offset, len); });
+    }
+  }
+
+  std::size_t attached() const { return mirrors_.size(); }
+
+ private:
+  sim::Simulation* sim_;
+  sim::Duration hint_latency_;
+  std::vector<MirrorDevice*> mirrors_;
+  common::RangeSet announced_;
+};
+
+}  // namespace blobcr::core

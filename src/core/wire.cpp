@@ -1,0 +1,171 @@
+#include "core/wire.h"
+
+namespace blobcr::core {
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+constexpr std::string_view kVersion = "HTTP/1.0";
+
+bool unreserved(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '~' ||
+         c == '-';
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Splits "k1=v1&k2=v2" into a decoded map.
+std::map<std::string, std::string> parse_params(std::string_view query) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos)
+        throw WireError("query parameter without '='");
+      out[percent_decode(pair.substr(0, eq))] =
+          percent_decode(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string percent_encode(std::string_view raw) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (unreserved(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[static_cast<unsigned char>(c) >> 4]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+    }
+  }
+  return out;
+}
+
+std::string percent_decode(std::string_view encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded[i] != '%') {
+      out.push_back(encoded[i]);
+      continue;
+    }
+    if (i + 2 >= encoded.size()) throw WireError("truncated percent escape");
+    const int hi = hex_digit(encoded[i + 1]);
+    const int lo = hex_digit(encoded[i + 2]);
+    if (hi < 0 || lo < 0) throw WireError("non-hex percent escape");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::string encode_request(const WireRequest& req) {
+  std::string line = req.method + " " + req.path;
+  char sep = '?';
+  for (const auto& [k, v] : req.params) {
+    line += sep + percent_encode(k) + "=" + percent_encode(v);
+    sep = '&';
+  }
+  line += " ";
+  line += kVersion;
+  line += kCrlf;
+  line += kCrlf;
+  return line;
+}
+
+WireRequest parse_request(std::string_view text) {
+  const std::size_t eol = text.find(kCrlf);
+  if (eol == std::string_view::npos)
+    throw WireError("request line not terminated");
+  const std::string_view line = text.substr(0, eol);
+
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) throw WireError("missing method");
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp2 == sp1) throw WireError("missing HTTP version");
+  if (line.substr(sp2 + 1) != kVersion)
+    throw WireError("unsupported protocol version");
+
+  WireRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  if (req.method.empty()) throw WireError("empty method");
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/')
+    throw WireError("target must start with '/'");
+  const std::size_t q = target.find('?');
+  if (q == std::string_view::npos) {
+    req.path = std::string(target);
+  } else {
+    req.path = std::string(target.substr(0, q));
+    req.params = parse_params(target.substr(q + 1));
+  }
+  return req;
+}
+
+std::string encode_response(const WireResponse& resp) {
+  std::string out(kVersion);
+  out += " " + std::to_string(resp.status) + " " + resp.reason;
+  out += kCrlf;
+  for (const auto& [k, v] : resp.fields) {
+    out += k + ": " + v;
+    out += kCrlf;
+  }
+  out += kCrlf;
+  return out;
+}
+
+WireResponse parse_response(std::string_view text) {
+  std::size_t eol = text.find(kCrlf);
+  if (eol == std::string_view::npos)
+    throw WireError("status line not terminated");
+  std::string_view line = text.substr(0, eol);
+  if (line.substr(0, kVersion.size()) != kVersion)
+    throw WireError("unsupported protocol version");
+  line.remove_prefix(kVersion.size());
+  if (line.empty() || line[0] != ' ') throw WireError("missing status code");
+  line.remove_prefix(1);
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string_view::npos) throw WireError("missing reason phrase");
+
+  WireResponse resp;
+  for (const char c : line.substr(0, sp)) {
+    if (c < '0' || c > '9') throw WireError("non-numeric status code");
+    resp.status = resp.status * 10 + (c - '0');
+  }
+  resp.reason = std::string(line.substr(sp + 1));
+
+  std::size_t pos = eol + kCrlf.size();
+  while (pos < text.size()) {
+    eol = text.find(kCrlf, pos);
+    if (eol == std::string_view::npos)
+      throw WireError("header line not terminated");
+    const std::string_view field = text.substr(pos, eol - pos);
+    pos = eol + kCrlf.size();
+    if (field.empty()) break;  // end of header block
+    const std::size_t colon = field.find(": ");
+    if (colon == std::string_view::npos)
+      throw WireError("malformed header field");
+    resp.fields[std::string(field.substr(0, colon))] =
+        std::string(field.substr(colon + 2));
+  }
+  return resp;
+}
+
+}  // namespace blobcr::core

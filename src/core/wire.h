@@ -1,0 +1,52 @@
+// The guest <-> checkpointing-proxy wire protocol (§3.3: "for maximum
+// compatibility, the communication protocol used by the proxy is a simple
+// REST-ful access interface"). Application-level code inside the guest can
+// speak this text protocol directly — no client library needed — which is
+// exactly why the paper chose it.
+//
+//   request:   POST /checkpoint?vm=vm07&token=s3cret HTTP/1.0\r\n\r\n
+//   response:  HTTP/1.0 200 OK\r\n
+//              image: 12\r\nversion: 3\r\npayload-bytes: 52428800\r\n\r\n
+//
+// Param values are percent-encoded; header field names are lower-case.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace blobcr::core {
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct WireRequest {
+  std::string method;  // e.g. "POST"
+  std::string path;    // e.g. "/checkpoint"
+  std::map<std::string, std::string> params;
+};
+
+struct WireResponse {
+  int status = 0;      // 200, 403, 404, 500...
+  std::string reason;  // "OK", "Forbidden"...
+  std::map<std::string, std::string> fields;
+};
+
+/// Percent-encodes everything outside [A-Za-z0-9._~-].
+std::string percent_encode(std::string_view raw);
+/// Decodes %XX sequences; throws WireError on truncated or non-hex escapes.
+std::string percent_decode(std::string_view encoded);
+
+std::string encode_request(const WireRequest& req);
+/// Parses a request line + empty header block; throws WireError on
+/// malformed input (bad verb line, missing HTTP suffix, bad escapes).
+WireRequest parse_request(std::string_view text);
+
+std::string encode_response(const WireResponse& resp);
+WireResponse parse_response(std::string_view text);
+
+}  // namespace blobcr::core

@@ -1,0 +1,116 @@
+// Failure schedules: pre-sampled fail-stop events for the FT runner's
+// injector. The infrastructure model (§2.1) is fail-stop commodity hardware
+// where "component failure is the norm rather than the exception"; we sample
+// per-instance failure times from exponential or Weibull lifetime
+// distributions with a deterministic RNG so every run replays identically.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace blobcr::ft {
+
+/// One injected fail-stop: at virtual time `at`, the node currently hosting
+/// logical instance `victim` dies (VM + local disk + co-located provider).
+struct FailureEvent {
+  sim::Time at = 0;
+  std::size_t victim = 0;
+};
+
+/// Lifetime distribution for sampling inter-failure gaps.
+struct FailureLaw {
+  enum class Kind { Exponential, Weibull };
+  Kind kind = Kind::Exponential;
+  /// Mean time between failures of one node, seconds.
+  double node_mtbf_s = 0;
+  /// Weibull shape (k < 1: infant mortality, k = 1: exponential, k > 1:
+  /// wear-out). Ignored for Exponential.
+  double weibull_shape = 0.7;
+
+  static FailureLaw exponential(double node_mtbf_s) {
+    return {Kind::Exponential, node_mtbf_s, 1.0};
+  }
+  static FailureLaw weibull(double node_mtbf_s, double shape) {
+    return {Kind::Weibull, node_mtbf_s, shape};
+  }
+};
+
+/// A time-sorted batch of failure events over a horizon.
+class FailureSchedule {
+ public:
+  FailureSchedule() = default;
+
+  /// Samples per-instance failure processes over [0, horizon). Each of the
+  /// `instances` logical slots gets an independent renewal process of the
+  /// given law; events are merged into one time-ordered schedule.
+  static FailureSchedule sample(const FailureLaw& law, std::size_t instances,
+                                sim::Duration horizon, std::uint64_t seed) {
+    if (law.node_mtbf_s <= 0)
+      throw std::invalid_argument("FailureSchedule: node_mtbf_s must be > 0");
+    FailureSchedule s;
+    common::Rng root(seed);
+    for (std::size_t i = 0; i < instances; ++i) {
+      common::Rng rng = root.fork(i);
+      sim::Time t = 0;
+      while (true) {
+        t += sample_gap(law, rng);
+        if (t >= horizon) break;
+        s.events_.push_back({t, i});
+      }
+    }
+    std::sort(s.events_.begin(), s.events_.end(),
+              [](const FailureEvent& a, const FailureEvent& b) {
+                return a.at != b.at ? a.at < b.at : a.victim < b.victim;
+              });
+    return s;
+  }
+
+  /// A hand-written schedule (tests).
+  static FailureSchedule fixed(std::vector<FailureEvent> events) {
+    FailureSchedule s;
+    s.events_ = std::move(events);
+    std::sort(s.events_.begin(), s.events_.end(),
+              [](const FailureEvent& a, const FailureEvent& b) {
+                return a.at != b.at ? a.at < b.at : a.victim < b.victim;
+              });
+    return s;
+  }
+
+  static FailureSchedule none() { return FailureSchedule(); }
+
+  const std::vector<FailureEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  static sim::Duration sample_gap(const FailureLaw& law, common::Rng& rng) {
+    // Inverse-CDF sampling; clamp u away from 0 so log() is finite.
+    const double u = std::max(rng.uniform01(), 1e-12);
+    double gap_s = 0;
+    switch (law.kind) {
+      case FailureLaw::Kind::Exponential:
+        gap_s = -law.node_mtbf_s * std::log(u);
+        break;
+      case FailureLaw::Kind::Weibull: {
+        // Scale lambda chosen so the mean is node_mtbf_s:
+        // mean = lambda * Gamma(1 + 1/k).
+        const double k = law.weibull_shape;
+        const double lambda = law.node_mtbf_s / std::tgamma(1.0 + 1.0 / k);
+        gap_s = lambda * std::pow(-std::log(u), 1.0 / k);
+        break;
+      }
+    }
+    // Never two failures at the same instant on one node.
+    return std::max<sim::Duration>(sim::from_seconds(gap_s), 1);
+  }
+
+  std::vector<FailureEvent> events_;
+};
+
+}  // namespace blobcr::ft

@@ -1,0 +1,97 @@
+// Checkpoint-interval analytics: Young's and Daly's optimal intervals and
+// the renewal-model expected makespan under exponential (fail-stop) node
+// failures. The paper motivates BlobCR with exactly this trade-off: "it is
+// crucial to ... checkpoint the application frequently with minimal
+// overhead" (§1) — a cheaper checkpoint C shifts the optimum interval down
+// and the machine efficiency up. These closed forms let the benchmarks
+// overlay analytic predictions on the simulated runner's measurements.
+//
+// All quantities are plain seconds (double); callers convert to sim time.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace blobcr::ft {
+
+/// Young's first-order optimum: tau* = sqrt(2 * C * M), for checkpoint cost
+/// C and system MTBF M (both seconds). Valid when C << M.
+inline double young_interval(double ckpt_cost, double mtbf) {
+  if (ckpt_cost <= 0 || mtbf <= 0)
+    throw std::invalid_argument("young_interval: costs must be positive");
+  return std::sqrt(2.0 * ckpt_cost * mtbf);
+}
+
+/// Daly's higher-order perturbation solution (J. T. Daly, "A higher order
+/// estimate of the optimum checkpoint interval for restart dumps", FGCS
+/// 2006). For C < 2M:
+///   tau* = sqrt(2*C*M) * [1 + (1/3)*sqrt(C/(2M)) + (1/9)*(C/(2M))] - C
+/// and tau* = M when C >= 2M (checkpointing cannot pay for itself).
+inline double daly_interval(double ckpt_cost, double mtbf) {
+  if (ckpt_cost <= 0 || mtbf <= 0)
+    throw std::invalid_argument("daly_interval: costs must be positive");
+  if (ckpt_cost >= 2.0 * mtbf) return mtbf;
+  const double ratio = ckpt_cost / (2.0 * mtbf);
+  return std::sqrt(2.0 * ckpt_cost * mtbf) *
+             (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+         ckpt_cost;
+}
+
+/// System MTBF of n identical nodes each with MTBF m (exponential,
+/// independent): M = m / n.
+inline double system_mtbf(double node_mtbf, std::size_t nodes) {
+  if (node_mtbf <= 0 || nodes == 0)
+    throw std::invalid_argument("system_mtbf: bad arguments");
+  return node_mtbf / static_cast<double>(nodes);
+}
+
+/// Expected wall-clock seconds to complete one segment of `length` seconds
+/// followed by committing it, with restart overhead R charged before every
+/// attempt after a failure, under exponential failures of rate 1/M. This is
+/// the exact memoryless renewal expectation
+///   E = (M + R) * (exp(length / M) - 1)
+/// (failures during restart itself restart the restart).
+inline double expected_segment_time(double length, double restart_cost,
+                                    double mtbf) {
+  if (mtbf <= 0) throw std::invalid_argument("expected_segment_time: mtbf");
+  const double x = length / mtbf;
+  // exp() overflows double around x ~ 709; such a segment effectively never
+  // completes.
+  if (x > 600.0) return std::numeric_limits<double>::infinity();
+  return (mtbf + restart_cost) * std::expm1(x);
+}
+
+/// Expected makespan of a job of `work` useful seconds checkpointed every
+/// `interval` seconds with per-checkpoint cost `ckpt_cost` and per-failure
+/// restart cost `restart_cost`, under exponential failures with system MTBF
+/// `mtbf`. The job is split into full segments of (interval + ckpt_cost)
+/// plus a remainder segment; each segment must complete failure-free, and a
+/// failure pays restart_cost plus the lost partial segment (captured by the
+/// renewal expectation).
+inline double expected_makespan(double work, double interval,
+                                double ckpt_cost, double restart_cost,
+                                double mtbf) {
+  if (work <= 0) return 0.0;
+  if (interval <= 0)
+    throw std::invalid_argument("expected_makespan: interval must be > 0");
+  const double full_segments = std::floor(work / interval);
+  const double remainder = work - full_segments * interval;
+  double total =
+      full_segments * expected_segment_time(interval + ckpt_cost,
+                                            restart_cost, mtbf);
+  if (remainder > 0)
+    total += expected_segment_time(remainder + ckpt_cost, restart_cost, mtbf);
+  return total;
+}
+
+/// Machine efficiency: useful work over expected makespan, in (0, 1].
+inline double expected_efficiency(double work, double interval,
+                                  double ckpt_cost, double restart_cost,
+                                  double mtbf) {
+  const double t =
+      expected_makespan(work, interval, ckpt_cost, restart_cost, mtbf);
+  return t > 0 ? work / t : 1.0;
+}
+
+}  // namespace blobcr::ft

@@ -1,0 +1,25 @@
+// BlockDevice: what a hypervisor exposes to its guest as the virtual disk.
+// Implementations: RawDevice (flat ByteStore), QcowDevice (copy-on-write
+// image), and core's MirrorDevice (BlobCR's mirroring module).
+#pragma once
+
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "sim/sim.h"
+
+namespace blobcr::img {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+  virtual std::uint64_t capacity() const = 0;
+  virtual sim::Task<> write(std::uint64_t offset, common::Buffer data) = 0;
+  virtual sim::Task<common::Buffer> read(std::uint64_t offset,
+                                         std::uint64_t len) = 0;
+  /// Ensures all acknowledged writes are durable in the image container
+  /// (the guest's `sync`).
+  virtual sim::Task<> flush() { co_return; }
+};
+
+}  // namespace blobcr::img

@@ -1,0 +1,35 @@
+// MemDevice: a BlockDevice with no simulated I/O cost, used for authoring
+// base images "offline" (the cloud user prepares the image before uploading;
+// that preparation is not part of any measured experiment).
+#pragma once
+
+#include "common/sparse.h"
+#include "img/block_device.h"
+
+namespace blobcr::img {
+
+class MemDevice : public BlockDevice {
+ public:
+  explicit MemDevice(std::uint64_t capacity) : capacity_(capacity) {}
+
+  std::uint64_t capacity() const override { return capacity_; }
+
+  sim::Task<> write(std::uint64_t offset, common::Buffer data) override {
+    content_.write(offset, std::move(data));
+    co_return;
+  }
+
+  sim::Task<common::Buffer> read(std::uint64_t offset,
+                                 std::uint64_t len) override {
+    co_return content_.read(offset, len);
+  }
+
+  const common::SparseFile& content() const { return content_; }
+  common::SparseFile& content() { return content_; }
+
+ private:
+  std::uint64_t capacity_;
+  common::SparseFile content_;
+};
+
+}  // namespace blobcr::img

@@ -1,0 +1,177 @@
+#include "img/qcow.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blobcr::img {
+
+QcowImage::QcowImage(storage::ByteStore& container,
+                     storage::ByteStore* backing, const Config& cfg)
+    : container_(&container),
+      backing_(backing),
+      cfg_(cfg),
+      host_end_(kHeaderClusters * cfg.cluster_size) {
+  assert(cfg_.virtual_size > 0);
+}
+
+std::uint64_t QcowImage::alloc_cluster() {
+  const std::uint64_t off = host_end_;
+  host_end_ += cfg_.cluster_size;
+  return off;
+}
+
+sim::Task<> QcowImage::ensure_l2_table(std::uint64_t guest_cluster) {
+  const std::uint64_t table = guest_cluster / kL2Entries;
+  if (l2_covered_.count(table) != 0) co_return;
+  l2_covered_.insert(table);
+  ++l2_tables_;
+  // A fresh L2 table is one cluster written into the container.
+  const std::uint64_t off = alloc_cluster();
+  co_await container_->write(off, common::Buffer::zeros(cfg_.cluster_size));
+}
+
+sim::Task<common::Buffer> QcowImage::read_cluster_logical(
+    std::uint64_t guest_cluster) {
+  const auto it = l2_.find(guest_cluster);
+  if (it != l2_.end()) {
+    co_return co_await container_->read(it->second, cfg_.cluster_size);
+  }
+  if (backing_ != nullptr) {
+    const std::uint64_t base = guest_cluster * cfg_.cluster_size;
+    co_return co_await backing_->read(base, cfg_.cluster_size);
+  }
+  co_return common::Buffer::zeros(cfg_.cluster_size);
+}
+
+sim::Task<common::Buffer> QcowImage::read(std::uint64_t offset,
+                                          std::uint64_t len) {
+  if (offset + len > cfg_.virtual_size)
+    len = offset < cfg_.virtual_size ? cfg_.virtual_size - offset : 0;
+  if (len == 0) co_return common::Buffer();
+  const std::uint64_t cs = cfg_.cluster_size;
+
+  // Gather cluster payloads in order; piecewise assembly preserves mixed
+  // real/phantom content. Consecutive unallocated clusters are fetched from
+  // the backing store in one batched read.
+  common::Buffer out;
+  for (std::uint64_t pos = offset; pos < offset + len;) {
+    const std::uint64_t cluster = pos / cs;
+    const std::uint64_t within = pos - cluster * cs;
+    if (l2_.find(cluster) == l2_.end() && backing_ != nullptr) {
+      // Extend over the run of unallocated clusters.
+      std::uint64_t run_end_cluster = cluster + 1;
+      while (run_end_cluster * cs < offset + len &&
+             l2_.find(run_end_cluster) == l2_.end()) {
+        ++run_end_cluster;
+      }
+      const std::uint64_t run_end = std::min(run_end_cluster * cs, offset + len);
+      common::Buffer data =
+          co_await backing_->read(pos, run_end - pos);
+      if (data.size() < run_end - pos) data.resize(run_end - pos);
+      out.append(data);
+      pos = run_end;
+      continue;
+    }
+    const std::uint64_t piece = std::min(cs - within, offset + len - pos);
+    common::Buffer data = co_await read_cluster_logical(cluster);
+    if (data.size() < within + piece) data.resize(within + piece);
+    out.append(data.slice(within, piece));
+    pos += piece;
+  }
+  co_return out;
+}
+
+sim::Task<> QcowImage::write(std::uint64_t offset, common::Buffer data) {
+  const std::uint64_t cs = cfg_.cluster_size;
+  const std::uint64_t len = data.size();
+  if (len == 0) co_return;
+  if (offset + len > cfg_.virtual_size)
+    throw std::runtime_error("qcow write beyond virtual size");
+  guest_bytes_written_ += len;
+
+  for (std::uint64_t pos = offset; pos < offset + len;) {
+    const std::uint64_t cluster = pos / cs;
+    const std::uint64_t within = pos - cluster * cs;
+    const std::uint64_t piece = std::min(cs - within, offset + len - pos);
+    common::Buffer part = data.slice(pos - offset, piece);
+
+    co_await ensure_l2_table(cluster);
+    const auto it = l2_.find(cluster);
+    const bool needs_alloc = (it == l2_.end()) || frozen_.count(cluster) != 0;
+    if (!needs_alloc) {
+      // In-place partial update of a writable cluster.
+      co_await container_->write(it->second + within, std::move(part));
+    } else {
+      common::Buffer full;
+      if (within == 0 && piece == cs) {
+        full = std::move(part);
+      } else {
+        // Copy-up: fill the rest of the cluster from the old content.
+        full = co_await read_cluster_logical(cluster);
+        if (full.size() < cs) full.resize(cs);
+        full.overwrite(within, part);
+      }
+      const std::uint64_t host = alloc_cluster();
+      l2_[cluster] = host;
+      frozen_.erase(cluster);
+      co_await container_->write(host, std::move(full));
+    }
+    pos += piece;
+  }
+}
+
+sim::Task<> QcowImage::save_vm_state(common::Buffer state) {
+  Snapshot snap;
+  snap.l2 = l2_;
+  snap.vmstate_bytes = state.size();
+  // VM state occupies whole clusters at the container tail.
+  const std::uint64_t clusters =
+      (state.size() + cfg_.cluster_size - 1) / cfg_.cluster_size;
+  snap.vmstate_offset = host_end_;
+  host_end_ += clusters * cfg_.cluster_size;
+  co_await container_->write(snap.vmstate_offset, std::move(state));
+  // Freeze: every allocated cluster now belongs to the snapshot.
+  for (const auto& [guest, host] : l2_) frozen_.insert(guest);
+  snapshots_.push_back(std::move(snap));
+}
+
+QcowImage::State QcowImage::export_state() const {
+  State s;
+  s.l2 = l2_;
+  s.frozen = frozen_;
+  s.l2_covered = l2_covered_;
+  s.l2_tables = l2_tables_;
+  s.host_end = host_end_;
+  s.snapshots = snapshots_;
+  s.guest_bytes_written = guest_bytes_written_;
+  return s;
+}
+
+void QcowImage::import_state(const State& state) {
+  l2_ = state.l2;
+  frozen_ = state.frozen;
+  l2_covered_ = state.l2_covered;
+  l2_tables_ = state.l2_tables;
+  host_end_ = state.host_end;
+  snapshots_ = state.snapshots;
+  guest_bytes_written_ = state.guest_bytes_written;
+}
+
+sim::Task<> QcowImage::open_existing(const State& state) {
+  import_state(state);
+  // qemu parses header + L1 + all present L2 tables when opening.
+  (void)co_await container_->read(0, metadata_bytes());
+}
+
+sim::Task<common::Buffer> QcowImage::load_vm_state() {
+  if (snapshots_.empty()) throw std::runtime_error("image has no vm state");
+  const Snapshot& snap = snapshots_.back();
+  common::Buffer state =
+      co_await container_->read(snap.vmstate_offset, snap.vmstate_bytes);
+  // Roll the disk mapping back to the snapshot.
+  l2_ = snap.l2;
+  for (const auto& [guest, host] : l2_) frozen_.insert(guest);
+  co_return state;
+}
+
+}  // namespace blobcr::img

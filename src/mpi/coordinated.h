@@ -1,0 +1,54 @@
+// The paper's extended coordinated checkpointing protocol (§3.3):
+//   1. drain communication channels (marker messages => a barrier: no rank
+//      proceeds until everyone stopped sending and received what was in
+//      flight);
+//   2. dump process state to guest files — either the application's own
+//      writer or a BLCR dump;
+//   3. sync(2) the guest file system so the virtual disk is consistent;
+//   4. one rank per VM asks the node-local checkpointing proxy to snapshot
+//      the virtual disk;
+//   5. barrier, then resume application execution.
+#pragma once
+
+#include <functional>
+
+#include "guestfs/simplefs.h"
+#include "mpi/mpi.h"
+#include "sim/sim.h"
+
+namespace blobcr::mpi {
+
+struct CoordinatedHooks {
+  /// Writes this rank's state into the guest FS (app-level writer or Blcr).
+  std::function<sim::Task<>()> dump;
+  /// Issued by the VM leader rank only: ask the proxy for a disk snapshot.
+  std::function<sim::Task<>()> request_disk_snapshot;
+  /// True for exactly one rank per VM.
+  bool vm_leader = false;
+  /// The rank's guest file system (synced in step 3 by the leader).
+  guestfs::SimpleFs* fs = nullptr;
+};
+
+/// Runs one global coordinated checkpoint from the calling rank's
+/// perspective. Every rank of the communicator must call this collectively.
+inline sim::Task<> coordinated_checkpoint(MpiWorld::Comm comm,
+                                          CoordinatedHooks hooks) {
+  // 1. Drain: marker messages stop senders; in-flight traffic completes.
+  co_await comm.barrier();
+  // 2. Dump process state into the guest file system.
+  if (hooks.dump) co_await hooks.dump();
+  // All ranks co-located on a VM must have finished dumping before the
+  // leader syncs that VM's file system.
+  co_await comm.barrier();
+  // 3. Flush guest page cache to the virtual disk (avoids snapshotting a
+  //    file system with unwritten dirty pages — see
+  //    SimpleFsTest.UnsyncedDataLostOnRemount for why this matters).
+  if (hooks.vm_leader && hooks.fs != nullptr) co_await hooks.fs->sync();
+  // 4. Disk snapshot, one request per VM.
+  if (hooks.vm_leader && hooks.request_disk_snapshot)
+    co_await hooks.request_disk_snapshot();
+  // 5. Everybody waits until all snapshots completed, then resumes.
+  co_await comm.barrier();
+}
+
+}  // namespace blobcr::mpi

@@ -1,0 +1,56 @@
+// ServiceQueue: models a server daemon that handles requests with a fixed
+// CPU cost and bounded concurrency (1 worker = fully serialized, the PVFS
+// metadata-server case). Also provides an RPC convenience that combines
+// request transfer, server processing and response transfer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/fabric.h"
+#include "sim/sim.h"
+
+namespace blobcr::net {
+
+class ServiceQueue {
+ public:
+  ServiceQueue(sim::Simulation& sim, std::string name,
+               sim::Duration per_request_cost, std::int64_t workers = 1)
+      : name_(std::move(name)),
+        per_request_cost_(per_request_cost),
+        sim_(&sim),
+        workers_(sim, workers) {}
+
+  /// Occupies a worker for the request cost.
+  sim::Task<> process() { return process(per_request_cost_); }
+
+  sim::Task<> process(sim::Duration cost) {
+    co_await workers_.acquire();
+    ++requests_;
+    co_await sim_->delay(cost);
+    workers_.release();
+  }
+
+  std::uint64_t requests_served() const { return requests_; }
+  std::size_t queue_depth() const { return workers_.waiting(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  sim::Duration per_request_cost_;
+  sim::Simulation* sim_;
+  sim::Semaphore workers_;
+  std::uint64_t requests_ = 0;
+};
+
+/// Round-trip RPC: request payload to the server, serialized processing,
+/// response payload back.
+inline sim::Task<> rpc(Fabric& fabric, ServiceQueue& service, NodeId client,
+                       NodeId server, std::uint64_t request_bytes,
+                       std::uint64_t response_bytes) {
+  co_await fabric.transfer(client, server, request_bytes);
+  co_await service.process();
+  co_await fabric.transfer(server, client, response_bytes);
+}
+
+}  // namespace blobcr::net

@@ -1,0 +1,53 @@
+// ByteStore adapter over a PVFS file — this is how hypervisor hosts see
+// images "through the PVFS mount point" in the baselines.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pfs/pvfs.h"
+#include "storage/byte_store.h"
+
+namespace blobcr::pfs {
+
+class PvfsFileStore : public storage::ByteStore {
+ public:
+  PvfsFileStore(PvfsCluster& cluster, net::NodeId node, FileId file)
+      : client_(cluster, node), file_(file) {}
+
+  /// Opens (or creates) `path` and wraps it.
+  static sim::Task<std::unique_ptr<PvfsFileStore>> open(
+      PvfsCluster& cluster, net::NodeId node, const std::string& path,
+      bool create_if_missing) {
+    PvfsClient client(cluster, node);
+    FileId id = 0;
+    bool found = true;
+    try {
+      id = co_await client.open(path);
+    } catch (const PvfsError&) {
+      if (!create_if_missing) throw;
+      found = false;  // co_await is not allowed inside a catch handler
+    }
+    if (!found) id = co_await client.create(path);
+    co_return std::make_unique<PvfsFileStore>(cluster, node, id);
+  }
+
+  sim::Task<> write(std::uint64_t offset, common::Buffer data) override {
+    co_await client_.write(file_, offset, std::move(data));
+  }
+  sim::Task<common::Buffer> read(std::uint64_t offset,
+                                 std::uint64_t len) override {
+    co_return co_await client_.read(file_, offset, len);
+  }
+  std::uint64_t size() const override { return client_.cached_size(file_); }
+  std::uint64_t allocated_bytes() const override {
+    return client_.cached_size(file_);
+  }
+  FileId file() const { return file_; }
+
+ private:
+  PvfsClient client_;
+  FileId file_;
+};
+
+}  // namespace blobcr::pfs

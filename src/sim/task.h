@@ -1,0 +1,162 @@
+// Task<T>: a lazily-started coroutine task used for all simulated activities.
+//
+// Semantics:
+//  * `co_await some_task` starts the child and suspends the parent until the
+//    child finishes (symmetric transfer, no stack growth on completion
+//    chains).
+//  * Exceptions propagate from child to awaiting parent.
+//  * The Task object owns the coroutine frame. Destroying a Task destroys the
+//    frame, which (because child Task objects live inside parent frames)
+//    recursively destroys the entire sub-tree of in-flight coroutines — this
+//    is how fail-stop `Process::kill()` unwinds a VM's activities while RAII
+//    releases any held simulated resources.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <utility>
+
+namespace blobcr::sim {
+
+template <class T = void>
+class Task;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+
+  template <class Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto& promise = h.promise();
+    if (promise.continuation) return promise.continuation;
+    if (promise.on_done) promise.on_done();  // root-task completion hook
+    return std::noop_coroutine();
+  }
+
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::function<void()> on_done{};  // set only on process root tasks
+  std::exception_ptr error{};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <class T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value{};
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    T take() {
+      if (this->error) std::rethrow_exception(this->error);
+      return std::move(*value);
+    }
+  };
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  bool valid() const noexcept { return static_cast<bool>(h_); }
+  bool done() const noexcept { return h_ && h_.done(); }
+  std::coroutine_handle<promise_type> handle() const noexcept { return h_; }
+  void reset() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  // Awaiter interface: starts the child coroutine.
+  bool await_ready() const noexcept {
+    assert(h_ && "awaiting an empty Task");
+    return false;
+  }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  T await_resume() { return h_.promise().take(); }
+
+ private:
+  std::coroutine_handle<promise_type> h_{};
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+    void take() {
+      if (error) std::rethrow_exception(error);
+    }
+  };
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  bool valid() const noexcept { return static_cast<bool>(h_); }
+  bool done() const noexcept { return h_ && h_.done(); }
+  std::coroutine_handle<promise_type> handle() const noexcept { return h_; }
+  void reset() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  bool await_ready() const noexcept {
+    assert(h_ && "awaiting an empty Task");
+    return false;
+  }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  void await_resume() { h_.promise().take(); }
+
+ private:
+  std::coroutine_handle<promise_type> h_{};
+};
+
+}  // namespace blobcr::sim

@@ -1,0 +1,61 @@
+// Structured concurrency helpers: run a batch of tasks as child processes of
+// the current process (so kill() propagates) and wait for all of them.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/process.h"
+#include "sim/task.h"
+
+namespace blobcr::sim {
+
+/// Runs all tasks concurrently; completes when every one has finished.
+/// Rethrows the first failure (after all tasks finished).
+inline Task<> when_all(Simulation& s, std::vector<Task<>> tasks) {
+  std::vector<ProcessPtr> procs;
+  procs.reserve(tasks.size());
+  for (auto& t : tasks) {
+    procs.push_back(s.spawn("par", std::move(t)));
+  }
+  for (const auto& p : procs) co_await p->join();
+  for (const auto& p : procs) {
+    if (p->error()) std::rethrow_exception(p->error());
+  }
+}
+
+namespace detail {
+
+struct WindowState {
+  std::vector<Task<>> tasks;
+  std::size_t next = 0;
+};
+
+inline Task<> window_worker(std::shared_ptr<WindowState> st) {
+  while (st->next < st->tasks.size()) {
+    const std::size_t i = st->next++;
+    co_await std::move(st->tasks[i]);
+  }
+}
+
+}  // namespace detail
+
+/// Runs tasks with at most `window` in flight at once (models a bounded
+/// number of outstanding requests per client, e.g. parallel TCP streams).
+inline Task<> run_window(Simulation& s, std::size_t window,
+                         std::vector<Task<>> tasks) {
+  if (tasks.empty()) co_return;
+  auto st = std::make_shared<detail::WindowState>();
+  st->tasks = std::move(tasks);
+  const std::size_t workers = window < st->tasks.size() ? window : st->tasks.size();
+  std::vector<Task<>> drivers;
+  drivers.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    drivers.push_back(detail::window_worker(st));
+  }
+  co_await when_all(s, std::move(drivers));
+}
+
+}  // namespace blobcr::sim

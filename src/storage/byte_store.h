@@ -1,0 +1,78 @@
+// ByteStore: random-access byte container with simulated I/O cost.
+// LocalFile is the host-local implementation (one Disk stream); the PVFS
+// adapter lives in src/pfs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/sparse.h"
+#include "sim/sim.h"
+#include "storage/disk.h"
+
+namespace blobcr::storage {
+
+class ByteStore {
+ public:
+  using Pieces = std::vector<std::pair<std::uint64_t, common::Buffer>>;
+
+  virtual ~ByteStore() = default;
+  virtual sim::Task<> write(std::uint64_t offset, common::Buffer data) = 0;
+  virtual sim::Task<common::Buffer> read(std::uint64_t offset,
+                                         std::uint64_t len) = 0;
+  /// One past the highest written byte.
+  virtual std::uint64_t size() const = 0;
+  virtual std::uint64_t allocated_bytes() const = 0;
+
+  /// Reads [offset, offset+len) preserving the boundary between real and
+  /// phantom content (a flat read would phantomize everything it touches).
+  /// Default: one flat piece.
+  virtual sim::Task<Pieces> read_extents(std::uint64_t offset,
+                                         std::uint64_t len) {
+    Pieces out;
+    common::Buffer data = co_await read(offset, len);
+    if (data.size() > 0) out.emplace_back(offset, std::move(data));
+    co_return out;
+  }
+};
+
+/// A file on a node's local disk.
+class LocalFile : public ByteStore {
+ public:
+  LocalFile(Disk& disk, std::uint64_t stream) : disk_(&disk), stream_(stream) {}
+
+  sim::Task<> write(std::uint64_t offset, common::Buffer data) override {
+    const std::uint64_t n = data.size();
+    content_.write(offset, std::move(data));
+    co_await disk_->write(stream_, offset, n);
+  }
+
+  sim::Task<common::Buffer> read(std::uint64_t offset,
+                                 std::uint64_t len) override {
+    co_await disk_->read(stream_, offset, len);
+    co_return content_.read(offset, len);
+  }
+
+  std::uint64_t size() const override { return content_.size(); }
+  std::uint64_t allocated_bytes() const override {
+    return content_.allocated_bytes();
+  }
+
+  sim::Task<Pieces> read_extents(std::uint64_t offset,
+                                 std::uint64_t len) override {
+    Pieces out = content_.read_extents(offset, len);
+    std::uint64_t total = 0;
+    for (const auto& [off, buf] : out) total += buf.size();
+    if (total > 0) co_await disk_->read(stream_, offset, total);
+    co_return out;
+  }
+
+ private:
+  Disk* disk_;
+  std::uint64_t stream_;
+  common::SparseFile content_;
+};
+
+}  // namespace blobcr::storage

@@ -1,0 +1,71 @@
+// ChunkStore: an append-log store of immutable chunks on a local Disk.
+// Chunks are written sequentially at the log tail (BlobSeer-provider style);
+// reads address the offset recorded at put time, so scans over consecutive
+// puts remain sequential.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/buffer.h"
+#include "storage/disk.h"
+
+namespace blobcr::storage {
+
+class ChunkStore {
+ public:
+  ChunkStore(Disk& disk, std::uint64_t stream_id)
+      : disk_(&disk), stream_(stream_id) {}
+
+  /// Appends a chunk to the log. Overwriting an existing id replaces the
+  /// payload but still consumes new log space (immutability).
+  sim::Task<> put(std::uint64_t chunk_id, common::Buffer data) {
+    const std::uint64_t size = data.size();
+    entries_[chunk_id] = Entry{log_end_, std::move(data)};
+    log_end_ += size;
+    stored_bytes_ += size;
+    co_await disk_->append(stream_, size);
+  }
+
+  /// Reads a chunk back (charges disk time at the recorded log offset).
+  sim::Task<common::Buffer> get(std::uint64_t chunk_id) {
+    const auto it = entries_.find(chunk_id);
+    if (it == entries_.end()) throw std::out_of_range("chunk not found");
+    const std::uint64_t off = it->second.log_offset;
+    const std::uint64_t size = it->second.data.size();
+    co_await disk_->read(stream_, off, size);
+    co_return entries_.at(chunk_id).data;
+  }
+
+  bool has(std::uint64_t chunk_id) const {
+    return entries_.find(chunk_id) != entries_.end();
+  }
+
+  /// Drops a chunk's payload (garbage collection). Space accounting shrinks;
+  /// the log hole is assumed reusable after compaction.
+  bool erase(std::uint64_t chunk_id) {
+    const auto it = entries_.find(chunk_id);
+    if (it == entries_.end()) return false;
+    stored_bytes_ -= it->second.data.size();
+    entries_.erase(it);
+    return true;
+  }
+
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+  std::size_t chunk_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t log_offset = 0;
+    common::Buffer data;
+  };
+
+  Disk* disk_;
+  std::uint64_t stream_;
+  std::uint64_t log_end_ = 0;
+  std::uint64_t stored_bytes_ = 0;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace blobcr::storage

@@ -1,0 +1,156 @@
+// Tests for the structured-concurrency helpers (when_all, run_window) and
+// kill-propagation through them.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sim.h"
+#include "sim/when_all.h"
+
+namespace blobcr::sim {
+namespace {
+
+Task<> tick(Simulation& s, Duration d, int id, std::vector<int>& done) {
+  co_await s.delay(d);
+  done.push_back(id);
+}
+
+TEST(WhenAllTest, WaitsForEveryTask) {
+  Simulation s;
+  std::vector<int> done;
+  std::vector<Time> finished;
+  auto p = s.spawn("main", [](Simulation& sm, std::vector<int>& out,
+                              std::vector<Time>& fin) -> Task<> {
+    std::vector<Task<>> tasks;
+    tasks.push_back(tick(sm, 30, 1, out));
+    tasks.push_back(tick(sm, 10, 2, out));
+    tasks.push_back(tick(sm, 20, 3, out));
+    co_await when_all(sm, std::move(tasks));
+    fin.push_back(sm.now());
+  }(s, done, finished));
+  s.run();
+  ASSERT_FALSE(p->error());
+  EXPECT_EQ(done, (std::vector<int>{2, 3, 1}));  // completion order
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(finished[0], 30);  // barrier at the slowest task
+}
+
+TEST(WhenAllTest, EmptyVectorCompletesImmediately) {
+  Simulation s;
+  bool ran = false;
+  s.spawn("main", [](Simulation& sm, bool& out) -> Task<> {
+    co_await when_all(sm, {});
+    out = true;
+  }(s, ran));
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+Task<> thrower_after(Simulation& s, Duration d) {
+  co_await s.delay(d);
+  throw std::runtime_error("child failed");
+}
+
+TEST(WhenAllTest, PropagatesChildErrorAfterAllFinish) {
+  Simulation s;
+  bool caught = false;
+  std::vector<int> done;
+  auto p = s.spawn("main", [](Simulation& sm, bool& c,
+                              std::vector<int>& out) -> Task<> {
+    std::vector<Task<>> tasks;
+    tasks.push_back(thrower_after(sm, 5));
+    tasks.push_back(tick(sm, 50, 1, out));
+    try {
+      co_await when_all(sm, std::move(tasks));
+    } catch (const std::runtime_error&) {
+      c = true;
+    }
+  }(s, caught, done));
+  s.run();
+  ASSERT_FALSE(p->error());
+  EXPECT_TRUE(caught);
+  // The healthy sibling was not abandoned: it completed first.
+  EXPECT_EQ(done, (std::vector<int>{1}));
+}
+
+TEST(WhenAllTest, KillingParentKillsChildren) {
+  Simulation s;
+  std::vector<int> done;
+  auto p = s.spawn("main", [](Simulation& sm, std::vector<int>& out)
+                               -> Task<> {
+    std::vector<Task<>> tasks;
+    tasks.push_back(tick(sm, 1000, 1, out));
+    tasks.push_back(tick(sm, 2000, 2, out));
+    co_await when_all(sm, std::move(tasks));
+  }(s, done));
+  s.call_at(100, [&] { p->kill(); });
+  s.run();
+  EXPECT_TRUE(done.empty());
+  EXPECT_EQ(s.live_process_count(), 0u);
+}
+
+Task<> occupy(Simulation& s, std::size_t& active, std::size_t& peak,
+              Duration d) {
+  ++active;
+  peak = std::max(peak, active);
+  co_await s.delay(d);
+  --active;
+}
+
+TEST(RunWindowTest, BoundsConcurrency) {
+  Simulation s;
+  std::size_t active = 0;
+  std::size_t peak = 0;
+  auto p = s.spawn("main", [](Simulation& sm, std::size_t& a,
+                              std::size_t& pk) -> Task<> {
+    std::vector<Task<>> tasks;
+    for (int i = 0; i < 20; ++i) tasks.push_back(occupy(sm, a, pk, 10));
+    co_await run_window(sm, 3, std::move(tasks));
+  }(s, active, peak));
+  s.run();
+  ASSERT_FALSE(p->error());
+  EXPECT_EQ(peak, 3u);
+  EXPECT_EQ(active, 0u);
+}
+
+TEST(RunWindowTest, CompletesAllTasksInOrderOfIssue) {
+  Simulation s;
+  std::vector<int> done;
+  s.spawn("main", [](Simulation& sm, std::vector<int>& out) -> Task<> {
+    std::vector<Task<>> tasks;
+    for (int i = 0; i < 6; ++i) tasks.push_back(tick(sm, 10, i, out));
+    co_await run_window(sm, 2, std::move(tasks));
+  }(s, done));
+  s.run();
+  EXPECT_EQ(done.size(), 6u);
+}
+
+TEST(RunWindowTest, WindowLargerThanTasksIsFullyParallel) {
+  Simulation s;
+  std::vector<Time> finished;
+  std::vector<int> sink;
+  s.spawn("main", [](Simulation& sm, std::vector<Time>& fin,
+                     std::vector<int>& out) -> Task<> {
+    std::vector<Task<>> tasks;
+    for (int i = 0; i < 4; ++i) tasks.push_back(tick(sm, 50, i, out));
+    co_await run_window(sm, 100, std::move(tasks));
+    fin.push_back(sm.now());
+  }(s, finished, sink));
+  s.run();
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(finished[0], 50);  // all ran concurrently
+}
+
+TEST(RunWindowTest, EmptyTaskListCompletes) {
+  Simulation s;
+  bool ran = false;
+  s.spawn("main", [](Simulation& sm, bool& out) -> Task<> {
+    co_await run_window(sm, 4, {});
+    out = true;
+  }(s, ran));
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace blobcr::sim

@@ -1,0 +1,125 @@
+// Cross-backend scenario matrix: the paper's five approaches run through
+// the same scenario drivers the benchmarks use, on a tiny real-data cloud,
+// checking the *relationships* the evaluation is built on (who stores more,
+// who grows where) rather than absolute timings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "apps/scenarios.h"
+#include "core/blobcr.h"
+
+namespace blobcr::apps {
+namespace {
+
+using core::Backend;
+using core::Cloud;
+using core::CloudConfig;
+
+CloudConfig tiny_cfg(Backend backend) {
+  CloudConfig cfg;
+  cfg.compute_nodes = 6;
+  cfg.metadata_nodes = 2;
+  cfg.backend = backend;
+  cfg.os = vm::GuestOsConfig::test_tiny();
+  cfg.vm.os_ram_bytes = 20 * common::kMB;
+  return cfg;
+}
+
+struct Combo {
+  Backend backend;
+  CkptMode mode;
+};
+
+class ScenarioMatrixTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ScenarioMatrixTest, MultiRoundRunWithRestartVerifies) {
+  const Combo combo = GetParam();
+  Cloud cloud(tiny_cfg(combo.backend));
+  SyntheticRun run;
+  run.instances = 2;
+  run.buffer_bytes = 3 * common::kMB;
+  run.real_data = true;
+  run.rounds = 3;
+  run.do_restart = true;
+  run.restart_shift = 3;
+  const RunResult result = run_synthetic(cloud, run, combo.mode);
+
+  // Every round produced a checkpoint; repository growth is monotone.
+  ASSERT_EQ(result.checkpoint_times.size(), 3u);
+  ASSERT_EQ(result.repo_growth.size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_GT(result.checkpoint_times[static_cast<std::size_t>(r)], 0);
+    EXPECT_GT(result.snapshot_bytes_per_vm[static_cast<std::size_t>(r)], 0u);
+    if (r > 0) {
+      EXPECT_GT(result.repo_growth[static_cast<std::size_t>(r)],
+                result.repo_growth[static_cast<std::size_t>(r - 1)]);
+    }
+  }
+  EXPECT_GT(result.restart_time, 0);
+  // Full-VM restores are not digest-verified (no per-process files); all
+  // other modes must round-trip bit for bit.
+  if (combo.mode != CkptMode::FullVm) EXPECT_TRUE(result.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FiveApproaches, ScenarioMatrixTest,
+    ::testing::Values(Combo{Backend::BlobCR, CkptMode::AppLevel},
+                      Combo{Backend::BlobCR, CkptMode::ProcessBlcr},
+                      Combo{Backend::Qcow2Disk, CkptMode::AppLevel},
+                      Combo{Backend::Qcow2Disk, CkptMode::ProcessBlcr},
+                      Combo{Backend::Qcow2Full, CkptMode::FullVm}),
+    [](const auto& info) {
+      return std::string(core::backend_name(info.param.backend)) == "BlobCR"
+                 ? std::string("BlobCR_") + mode_name(info.param.mode)
+             : std::string(core::backend_name(info.param.backend)) ==
+                       "qcow2-disk"
+                 ? std::string("Qcow2Disk_") + mode_name(info.param.mode)
+                 : std::string("Qcow2Full_") + mode_name(info.param.mode);
+    });
+
+TEST(ScenarioRelationTest, SuccessiveCheckpointsGrowOnlyForBaselines) {
+  // Figure 5's mechanism as a test: round-over-round checkpoint time stays
+  // flat for BlobCR (incremental) and grows for qcow2-disk (container
+  // recopy), on identical multi-round workloads.
+  SyntheticRun run;
+  run.instances = 1;
+  run.buffer_bytes = 8 * common::kMB;
+  run.real_data = true;
+  run.rounds = 3;
+
+  Cloud blob_cloud(tiny_cfg(Backend::BlobCR));
+  const RunResult blob = run_synthetic(blob_cloud, run, CkptMode::AppLevel);
+  Cloud qcow_cloud(tiny_cfg(Backend::Qcow2Disk));
+  const RunResult qcow = run_synthetic(qcow_cloud, run, CkptMode::AppLevel);
+
+  const double blob_ratio = sim::to_seconds(blob.checkpoint_times[2]) /
+                            sim::to_seconds(blob.checkpoint_times[0]);
+  const double qcow_ratio = sim::to_seconds(qcow.checkpoint_times[2]) /
+                            sim::to_seconds(qcow.checkpoint_times[0]);
+  EXPECT_LT(blob_ratio, 1.3);  // flat-ish
+  EXPECT_GT(qcow_ratio, 1.5);  // clearly growing
+  // And the baselines' repository accumulates whole-container copies.
+  EXPECT_LT(blob.repo_growth[2], qcow.repo_growth[2]);
+}
+
+TEST(ScenarioRelationTest, FullVmSnapshotsCarryTheRamTax) {
+  // Figure 4's +118 MB claim as a relation: the full-VM snapshot exceeds
+  // the disk-only snapshot by at least the guest OS RAM size.
+  SyntheticRun run;
+  run.instances = 1;
+  run.buffer_bytes = 4 * common::kMB;
+  run.real_data = true;
+
+  Cloud disk_cloud(tiny_cfg(Backend::Qcow2Disk));
+  const RunResult disk = run_synthetic(disk_cloud, run, CkptMode::AppLevel);
+  Cloud full_cloud(tiny_cfg(Backend::Qcow2Full));
+  const RunResult full = run_synthetic(full_cloud, run, CkptMode::FullVm);
+
+  EXPECT_GE(full.snapshot_bytes_per_vm[0],
+            disk.snapshot_bytes_per_vm[0] + 20 * common::kMB);
+}
+
+}  // namespace
+}  // namespace blobcr::apps

@@ -1,0 +1,462 @@
+// Tests for mini-MPI (send/recv/sendrecv/barrier across VMs), BLCR dumps and
+// the coordinated checkpoint protocol.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "img/mem_device.h"
+#include "mpi/blcr.h"
+#include "mpi/coordinated.h"
+#include "mpi/mpi.h"
+#include "sim/sim.h"
+#include "vm/guest_os.h"
+#include "vm/vm_instance.h"
+
+namespace blobcr::mpi {
+namespace {
+
+using common::Buffer;
+using sim::Simulation;
+using sim::Task;
+using sim::Time;
+
+/// Two VMs on two nodes, tiny real guest OS on each.
+struct TestRig {
+  Simulation sim;
+  std::unique_ptr<net::Fabric> fabric;
+  std::vector<std::unique_ptr<img::MemDevice>> devs;
+  std::vector<std::unique_ptr<vm::VmInstance>> vms;
+  std::unique_ptr<MpiWorld> world;
+
+  explicit TestRig(std::size_t n_vms = 2) {
+    net::Fabric::Config fcfg;
+    fcfg.node_count = n_vms;
+    fcfg.nic_bandwidth_bps = 100e6;
+    fcfg.latency = 100 * sim::kMicrosecond;
+    fabric = std::make_unique<net::Fabric>(sim, fcfg);
+    world = std::make_unique<MpiWorld>(sim, *fabric);
+    world->set_size(static_cast<int>(n_vms));
+    for (std::size_t i = 0; i < n_vms; ++i) {
+      devs.push_back(std::make_unique<img::MemDevice>(64 * 1024 * 1024));
+      vm::VmConfig cfg;
+      cfg.name = "vm" + std::to_string(i);
+      cfg.os_ram_bytes = 10 * common::kMB;
+      vms.push_back(std::make_unique<vm::VmInstance>(
+          sim, static_cast<net::NodeId>(i), *devs.back(), cfg));
+    }
+  }
+
+  ~TestRig() {
+    // Unwind any still-blocked processes while channels/VMs are alive.
+    sim.shutdown();
+  }
+
+  /// Formats + mounts a guest FS on VM i (no full OS boot needed here).
+  void mount_fs(std::size_t i) {
+    auto p = sim.spawn("mkfs", [](TestRig* rig, std::size_t vi) -> Task<> {
+      guestfs::FsConfig cfg;
+      co_await guestfs::SimpleFs::mkfs(*rig->devs[vi], cfg);
+      auto fs = co_await guestfs::SimpleFs::mount(*rig->devs[vi]);
+      fs->mkdir("/ckpt");
+      rig->vms[vi]->adopt_fs(std::move(fs));
+    }(this, i));
+    sim.run();
+    if (p->error()) std::rethrow_exception(p->error());
+  }
+
+  void run_all() {
+    sim.run();
+    for (const auto& v : vms) {
+      for (const auto& p : v->guest_procs()) {
+        if (p->error()) std::rethrow_exception(p->error());
+      }
+    }
+  }
+};
+
+TEST(MpiTest, SendRecvAcrossVms) {
+  TestRig rig;
+  Buffer received;
+  rig.vms[0]->start_guest("r0", [&](vm::GuestProcess& gp) -> Task<> {
+    rig.world->register_rank(0, &gp);
+    auto comm = rig.world->comm(0);
+    co_await comm.send(1, 7, Buffer::pattern(1000, 1));
+  });
+  rig.vms[1]->start_guest("r1", [&](vm::GuestProcess& gp) -> Task<> {
+    rig.world->register_rank(1, &gp);
+    auto comm = rig.world->comm(1);
+    received = co_await comm.recv(0, 7);
+  });
+  rig.run_all();
+  EXPECT_EQ(received, Buffer::pattern(1000, 1));
+  EXPECT_EQ(rig.world->messages_sent(), 1u);
+}
+
+TEST(MpiTest, TagMatchingSeparatesStreams) {
+  TestRig rig;
+  std::vector<int> order;
+  rig.vms[0]->start_guest("r0", [&](vm::GuestProcess& gp) -> Task<> {
+    rig.world->register_rank(0, &gp);
+    auto comm = rig.world->comm(0);
+    co_await comm.send(1, /*tag=*/20, Buffer::from_string("late"));
+    co_await comm.send(1, /*tag=*/10, Buffer::from_string("early"));
+  });
+  rig.vms[1]->start_guest("r1", [&](vm::GuestProcess& gp) -> Task<> {
+    rig.world->register_rank(1, &gp);
+    auto comm = rig.world->comm(1);
+    const Buffer a = co_await comm.recv(0, 10);
+    order.push_back(a.to_string() == "early" ? 1 : -1);
+    const Buffer b = co_await comm.recv(0, 20);
+    order.push_back(b.to_string() == "late" ? 2 : -2);
+  });
+  rig.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(MpiTest, BarrierSynchronizesRanks) {
+  TestRig rig(3);
+  std::vector<Time> after;
+  for (int r = 0; r < 3; ++r) {
+    rig.vms[static_cast<std::size_t>(r)]->start_guest(
+        "rank", [&rig, &after, r](vm::GuestProcess& gp) -> Task<> {
+          rig.world->register_rank(r, &gp);
+          auto comm = rig.world->comm(r);
+          co_await gp.compute(r * sim::kSecond);  // staggered arrival
+          co_await comm.barrier();
+          after.push_back(rig.sim.now());
+        });
+  }
+  rig.run_all();
+  ASSERT_EQ(after.size(), 3u);
+  // Nobody leaves before the last arrival at t=2s.
+  for (const Time t : after) EXPECT_GE(t, 2 * sim::kSecond);
+}
+
+TEST(MpiTest, RepeatedBarriersDoNotCrossTalk) {
+  TestRig rig(2);
+  std::vector<int> seq;
+  for (int r = 0; r < 2; ++r) {
+    rig.vms[static_cast<std::size_t>(r)]->start_guest(
+        "rank", [&rig, &seq, r](vm::GuestProcess& gp) -> Task<> {
+          rig.world->register_rank(r, &gp);
+          auto comm = rig.world->comm(r);
+          for (int round = 0; round < 5; ++round) {
+            co_await comm.barrier();
+            if (r == 0) seq.push_back(round);
+          }
+        });
+  }
+  rig.run_all();
+  EXPECT_EQ(seq, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(MpiTest, SendRecvExchange) {
+  TestRig rig(2);
+  Buffer got0;
+  Buffer got1;
+  for (int r = 0; r < 2; ++r) {
+    rig.vms[static_cast<std::size_t>(r)]->start_guest(
+        "rank", [&rig, &got0, &got1, r](vm::GuestProcess& gp) -> Task<> {
+          rig.world->register_rank(r, &gp);
+          auto comm = rig.world->comm(r);
+          const int other = 1 - r;
+          Buffer in = co_await comm.sendrecv(
+              other, 5, Buffer::pattern(500, static_cast<std::uint64_t>(r)),
+              other, 5);
+          (r == 0 ? got0 : got1) = std::move(in);
+        });
+  }
+  rig.run_all();
+  EXPECT_EQ(got0, Buffer::pattern(500, 1));
+  EXPECT_EQ(got1, Buffer::pattern(500, 0));
+}
+
+TEST(MpiTest, PausedReceiverDelaysDelivery) {
+  TestRig rig(2);
+  Time delivered = 0;
+  rig.vms[0]->start_guest("r0", [&](vm::GuestProcess& gp) -> Task<> {
+    rig.world->register_rank(0, &gp);
+    co_await rig.world->comm(0).send(1, 1, Buffer::pattern(100, 1));
+  });
+  rig.vms[1]->start_guest("r1", [&](vm::GuestProcess& gp) -> Task<> {
+    rig.world->register_rank(1, &gp);
+    (void)co_await rig.world->comm(1).recv(0, 1);
+    delivered = rig.sim.now();
+  });
+  rig.sim.call_at(0, [&] { rig.vms[1]->pause(); });
+  rig.sim.call_at(2 * sim::kSecond, [&] { rig.vms[1]->resume(); });
+  rig.run_all();
+  EXPECT_GE(delivered, 2 * sim::kSecond);
+}
+
+TEST(BlcrTest, DumpRestoreRoundTrip) {
+  TestRig rig(1);
+  rig.mount_fs(0);
+  bool digest_ok = false;
+  std::uint64_t dump_size = 0;
+  rig.vms[0]->start_guest("proc", [&](vm::GuestProcess& gp) -> Task<> {
+    gp.set_region("data", Buffer::pattern(100'000, 9));
+    gp.set_region("heap", Buffer::pattern(50'000, 10));
+    dump_size = co_await Blcr::dump(gp, "/ckpt/proc.img");
+    // Wipe and restore.
+    gp.set_region("data", Buffer());
+    gp.set_region("heap", Buffer());
+    digest_ok = co_await Blcr::restore(gp, "/ckpt/proc.img");
+  });
+  rig.run_all();
+  EXPECT_TRUE(digest_ok);
+  // Dump = header block + regions + runtime overhead.
+  EXPECT_GE(dump_size, 150'000u + rig.vms[0]->config().process_overhead_bytes);
+  auto& gp = *rig.vms[0]->guests()[0];
+  EXPECT_EQ(gp.region("data"), Buffer::pattern(100'000, 9));
+}
+
+TEST(BlcrTest, DumpIsBiggerThanAppState) {
+  // blcr indiscriminately dumps all regions + runtime image; an app-level
+  // writer would dump only "data".
+  TestRig rig(1);
+  rig.mount_fs(0);
+  std::uint64_t blcr_size = 0;
+  rig.vms[0]->start_guest("proc", [&](vm::GuestProcess& gp) -> Task<> {
+    gp.set_region("data", Buffer::phantom(1'000'000));
+    gp.set_region("scratch", Buffer::phantom(400'000));  // app would skip
+    blcr_size = co_await Blcr::dump(gp, "/ckpt/p.img");
+  });
+  rig.run_all();
+  EXPECT_GT(blcr_size, 1'400'000u);
+}
+
+TEST(BlcrTest, PhantomRegionsRoundTrip) {
+  TestRig rig(1);
+  rig.mount_fs(0);
+  bool ok = false;
+  rig.vms[0]->start_guest("proc", [&](vm::GuestProcess& gp) -> Task<> {
+    gp.set_region("data", Buffer::phantom(2'000'000));
+    co_await Blcr::dump(gp, "/ckpt/p.img");
+    gp.set_region("data", Buffer());
+    ok = co_await Blcr::restore(gp, "/ckpt/p.img");
+  });
+  rig.run_all();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(rig.vms[0]->guests()[0]->region("data").size(), 2'000'000u);
+}
+
+TEST(CoordinatedTest, ProtocolOrdersDumpSyncSnapshot) {
+  TestRig rig(2);
+  rig.mount_fs(0);
+  rig.mount_fs(1);
+  std::vector<std::string> events;
+  for (int r = 0; r < 2; ++r) {
+    rig.vms[static_cast<std::size_t>(r)]->start_guest(
+        "rank", [&rig, &events, r](vm::GuestProcess& gp) -> Task<> {
+          rig.world->register_rank(r, &gp);
+          auto comm = rig.world->comm(r);
+          CoordinatedHooks hooks;
+          hooks.vm_leader = true;  // one rank per VM here
+          hooks.fs = gp.vm().fs();
+          hooks.dump = [&gp, &events, r]() -> Task<> {
+            co_await Blcr::dump(gp, "/ckpt/rank.img");
+            events.push_back("dump" + std::to_string(r));
+          };
+          hooks.request_disk_snapshot = [&events, r]() -> Task<> {
+            events.push_back("snap" + std::to_string(r));
+            co_return;
+          };
+          gp.set_region("data", Buffer::pattern(10'000, 5));
+          co_await coordinated_checkpoint(comm, hooks);
+          events.push_back("resume" + std::to_string(r));
+        });
+  }
+  rig.run_all();
+  ASSERT_EQ(events.size(), 6u);
+  // All dumps strictly before all snapshots, all snapshots before resumes.
+  auto index_of = [&](const std::string& e) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i] == e) return i;
+    }
+    return events.size();
+  };
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_LT(index_of("dump" + std::to_string(r)),
+              index_of("snap0") + index_of("snap1"));
+    EXPECT_LT(index_of("snap" + std::to_string(r)),
+              std::min(index_of("resume0"), index_of("resume1")) + 6);
+  }
+  // FS was synced: no dirty pages remain on either VM.
+  EXPECT_FALSE(rig.vms[0]->fs()->dirty());
+  EXPECT_FALSE(rig.vms[1]->fs()->dirty());
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+/// Runs `body(rank, comm)` on every rank of a fresh world of size n.
+template <typename Body>
+void run_ranks(std::size_t n, Body body) {
+  TestRig rig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rig.vms[i]->start_guest("r" + std::to_string(i),
+                            [&rig, i, body](vm::GuestProcess& gp) -> Task<> {
+      rig.world->register_rank(static_cast<int>(i), &gp);
+      auto comm = rig.world->comm(static_cast<int>(i));
+      co_await body(static_cast<int>(i), comm);
+    });
+  }
+  rig.run_all();
+}
+
+class CollectiveSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CollectiveSizeTest, BcastDeliversRootPayloadToAllRanks) {
+  const std::size_t n = GetParam();
+  std::vector<Buffer> got(n);
+  run_ranks(n, [&got](int rank, MpiWorld::Comm comm) -> Task<> {
+    Buffer data;
+    if (rank == 2 % comm.size()) data = Buffer::pattern(5'000, 77);
+    co_await comm.bcast(data, 2 % comm.size());
+    got[static_cast<std::size_t>(rank)] = std::move(data);
+  });
+  for (const Buffer& b : got) EXPECT_EQ(b, Buffer::pattern(5'000, 77));
+}
+
+TEST_P(CollectiveSizeTest, ReduceSumAccumulatesAtRoot) {
+  const std::size_t n = GetParam();
+  std::vector<double> at_root;
+  run_ranks(n, [&at_root, n](int rank, MpiWorld::Comm comm) -> Task<> {
+    std::vector<double> mine;
+    mine.push_back(static_cast<double>(rank + 1));
+    mine.push_back(1.0);
+    std::vector<double> out = co_await comm.reduce_sum(std::move(mine), 0);
+    if (rank == 0) at_root = std::move(out);
+    (void)n;
+  });
+  ASSERT_EQ(at_root.size(), 2u);
+  const double expect = static_cast<double>(n * (n + 1)) / 2.0;
+  EXPECT_DOUBLE_EQ(at_root[0], expect);
+  EXPECT_DOUBLE_EQ(at_root[1], static_cast<double>(n));
+}
+
+TEST_P(CollectiveSizeTest, AllreduceSumAgreesEverywhere) {
+  const std::size_t n = GetParam();
+  std::vector<std::vector<double>> got(n);
+  run_ranks(n, [&got](int rank, MpiWorld::Comm comm) -> Task<> {
+    std::vector<double> mine;
+    mine.push_back(static_cast<double>(rank));
+    mine.push_back(2.0);
+    got[static_cast<std::size_t>(rank)] =
+        co_await comm.allreduce_sum(std::move(mine));
+  });
+  const double expect0 = static_cast<double>(n * (n - 1)) / 2.0;
+  for (const auto& v : got) {
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], expect0);
+    EXPECT_DOUBLE_EQ(v[1], 2.0 * static_cast<double>(n));
+  }
+}
+
+TEST_P(CollectiveSizeTest, GatherCollectsInRankOrder) {
+  const std::size_t n = GetParam();
+  std::vector<Buffer> at_root;
+  run_ranks(n, [&at_root](int rank, MpiWorld::Comm comm) -> Task<> {
+    std::vector<Buffer> out = co_await comm.gather(
+        Buffer::pattern(100 + static_cast<std::size_t>(rank), 9), 0);
+    if (rank == 0) at_root = std::move(out);
+  });
+  ASSERT_EQ(at_root.size(), n);
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_EQ(at_root[r], Buffer::pattern(100 + r, 9));
+  }
+}
+
+TEST_P(CollectiveSizeTest, ScatterHandsEachRankItsPart) {
+  const std::size_t n = GetParam();
+  std::vector<Buffer> got(n);
+  run_ranks(n, [&got, n](int rank, MpiWorld::Comm comm) -> Task<> {
+    std::vector<Buffer> parts;
+    if (rank == 0) {
+      for (std::size_t r = 0; r < n; ++r)
+        parts.push_back(Buffer::pattern(64, 1000 + r));
+    }
+    got[static_cast<std::size_t>(rank)] =
+        co_await comm.scatter(std::move(parts), 0);
+  });
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_EQ(got[r], Buffer::pattern(64, 1000 + r));
+  }
+}
+
+TEST_P(CollectiveSizeTest, CollectivesComposeInSequence) {
+  // bcast -> allreduce -> gather back to back: generation-derived tags must
+  // keep the streams separate.
+  const std::size_t n = GetParam();
+  std::vector<double> sums(n, 0);
+  run_ranks(n, [&sums](int rank, MpiWorld::Comm comm) -> Task<> {
+    Buffer seed;
+    if (rank == 0) seed = Buffer::pattern(256, 5);
+    co_await comm.bcast(seed, 0);
+    std::vector<double> v(1, static_cast<double>(seed.size()));
+    v = co_await comm.allreduce_sum(std::move(v));
+    sums[static_cast<std::size_t>(rank)] = v[0];
+    (void)co_await comm.gather(Buffer::pattern(16, 1), 0);
+    co_await comm.barrier();
+  });
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(sums[r], 256.0 * static_cast<double>(sums.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(CollectiveTest, ReduceSumRejectsMismatchedLengths) {
+  std::exception_ptr error;
+  TestRig rig(2);
+  rig.vms[0]->start_guest("r0", [&](vm::GuestProcess& gp) -> Task<> {
+    rig.world->register_rank(0, &gp);
+    auto comm = rig.world->comm(0);
+    try {
+      std::vector<double> one(1, 1.0);
+      (void)co_await comm.reduce_sum(std::move(one), 0);  // rank 1 sends 2
+    } catch (const MpiError&) {
+      error = std::current_exception();
+    }
+  });
+  rig.vms[1]->start_guest("r1", [&](vm::GuestProcess& gp) -> Task<> {
+    rig.world->register_rank(1, &gp);
+    auto comm = rig.world->comm(1);
+    std::vector<double> two;
+    two.push_back(1.0);
+    two.push_back(2.0);
+    (void)co_await comm.reduce_sum(std::move(two), 0);
+  });
+  rig.sim.run();
+  EXPECT_TRUE(error != nullptr);
+}
+
+TEST(CollectiveTest, ScatterAtRootRequiresAllParts) {
+  std::exception_ptr error;
+  TestRig rig(2);
+  rig.vms[0]->start_guest("r0", [&](vm::GuestProcess& gp) -> Task<> {
+    rig.world->register_rank(0, &gp);
+    auto comm = rig.world->comm(0);
+    try {
+      std::vector<Buffer> parts;
+      parts.push_back(Buffer::pattern(8, 1));
+      (void)co_await comm.scatter(std::move(parts), 0);  // one part short
+    } catch (const MpiError&) {
+      error = std::current_exception();
+    }
+  });
+  rig.vms[1]->start_guest("r1", [&](vm::GuestProcess& gp) -> Task<> {
+    rig.world->register_rank(1, &gp);
+    // Never receives anything; killed at teardown.
+    co_await gp.vm().simulation().delay(3600 * sim::kSecond);
+  });
+  rig.sim.run();
+  EXPECT_TRUE(error != nullptr);
+}
+
+}  // namespace
+}  // namespace blobcr::mpi

@@ -1,0 +1,124 @@
+// Tests for SparseFile, including a property test against a flat reference.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sparse.h"
+
+namespace blobcr::common {
+namespace {
+
+TEST(SparseFileTest, EmptyReadsZeros) {
+  SparseFile f;
+  EXPECT_EQ(f.read(0, 10), Buffer::zeros(10));
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.allocated_bytes(), 0u);
+}
+
+TEST(SparseFileTest, WriteReadRoundTrip) {
+  SparseFile f;
+  f.write(100, Buffer::pattern(50, 1));
+  EXPECT_EQ(f.read(100, 50), Buffer::pattern(50, 1));
+  EXPECT_EQ(f.size(), 150u);
+  EXPECT_EQ(f.allocated_bytes(), 50u);
+}
+
+TEST(SparseFileTest, HolesAroundExtentReadZeros) {
+  SparseFile f;
+  f.write(100, Buffer::pattern(50, 1));
+  Buffer expect = Buffer::zeros(200);
+  expect.overwrite(100, Buffer::pattern(50, 1));
+  EXPECT_EQ(f.read(0, 200), expect);
+}
+
+TEST(SparseFileTest, OverlappingWriteReplaces) {
+  SparseFile f;
+  f.write(0, Buffer::pattern(100, 1));
+  f.write(25, Buffer::pattern(50, 2));
+  Buffer expect = Buffer::pattern(100, 1);
+  expect.overwrite(25, Buffer::pattern(50, 2));
+  EXPECT_EQ(f.read(0, 100), expect);
+  EXPECT_EQ(f.allocated_bytes(), 100u);
+}
+
+TEST(SparseFileTest, WriteSplitsExistingExtent) {
+  SparseFile f;
+  f.write(0, Buffer::pattern(100, 1));
+  f.write(40, Buffer::pattern(20, 2));
+  EXPECT_EQ(f.extent_count(), 3u);
+  EXPECT_EQ(f.allocated_bytes(), 100u);
+}
+
+TEST(SparseFileTest, EraseMakesHole) {
+  SparseFile f;
+  f.write(0, Buffer::pattern(100, 1));
+  f.erase(30, 40);
+  EXPECT_EQ(f.allocated_bytes(), 60u);
+  EXPECT_EQ(f.read(30, 40), Buffer::zeros(40));
+  EXPECT_EQ(f.read(0, 30), Buffer::pattern(100, 1).slice(0, 30));
+}
+
+TEST(SparseFileTest, PhantomContagionOnRead) {
+  SparseFile f;
+  f.write(0, Buffer::pattern(100, 1));
+  f.write(200, Buffer::phantom(100));
+  EXPECT_FALSE(f.read(0, 100).is_phantom());
+  EXPECT_TRUE(f.read(150, 100).is_phantom());
+  EXPECT_TRUE(f.read(0, 300).is_phantom());
+  EXPECT_EQ(f.allocated_bytes(), 200u);
+}
+
+TEST(SparseFileTest, ClearResets) {
+  SparseFile f;
+  f.write(0, Buffer::pattern(100, 1));
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.size(), 0u);
+}
+
+class SparsePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SparsePropertyTest, MatchesFlatReference) {
+  Rng rng(GetParam());
+  constexpr std::uint64_t kUniverse = 512;
+  SparseFile f;
+  std::vector<std::uint8_t> ref(kUniverse, 0);
+  std::vector<bool> written(kUniverse, false);
+  for (int step = 0; step < 200; ++step) {
+    const std::uint64_t a = rng.uniform(kUniverse);
+    const std::uint64_t n = 1 + rng.uniform(kUniverse - a);
+    if (rng.chance(0.7)) {
+      const Buffer data = Buffer::pattern(n, rng.next_u64());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ref[a + i] = std::to_integer<std::uint8_t>(data.bytes()[i]);
+        written[a + i] = true;
+      }
+      f.write(a, data);
+    } else {
+      f.erase(a, n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ref[a + i] = 0;
+        written[a + i] = false;
+      }
+    }
+    // Invariants: allocated bytes match; random range read matches.
+    std::uint64_t alloc = 0;
+    for (const bool w : written) alloc += w ? 1 : 0;
+    ASSERT_EQ(f.allocated_bytes(), alloc);
+    const std::uint64_t q = rng.uniform(kUniverse);
+    const std::uint64_t qn = 1 + rng.uniform(kUniverse - q);
+    const Buffer got = f.read(q, qn);
+    ASSERT_EQ(got.size(), qn);
+    for (std::uint64_t i = 0; i < qn; ++i) {
+      ASSERT_EQ(std::to_integer<std::uint8_t>(got.bytes()[i]), ref[q + i])
+          << "at " << (q + i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparsePropertyTest,
+                         ::testing::Values(7, 21, 42, 84, 168));
+
+}  // namespace
+}  // namespace blobcr::common

@@ -1,0 +1,166 @@
+// Tests for the VM layer: image build + boot, pause/resume gating, guest
+// processes, RAM accounting, destroy semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "img/mem_device.h"
+#include "sim/sim.h"
+#include "vm/guest_os.h"
+#include "vm/vm_instance.h"
+
+namespace blobcr::vm {
+namespace {
+
+using common::Buffer;
+using sim::Simulation;
+using sim::Task;
+using sim::Time;
+
+struct TestVm {
+  Simulation sim;
+  img::MemDevice dev{64 * 1024 * 1024};
+  std::unique_ptr<VmInstance> vm;
+
+  TestVm() {
+    VmConfig cfg;
+    cfg.name = "vm0";
+    cfg.os_ram_bytes = 100 * common::kMB;
+    vm = std::make_unique<VmInstance>(sim, /*host=*/0, dev, cfg);
+  }
+
+  void run(Task<> t) {
+    auto p = sim.spawn("test", std::move(t));
+    sim.run();
+    if (p->error()) std::rethrow_exception(p->error());
+  }
+};
+
+TEST(GuestOsTest, BuildAndBoot) {
+  TestVm t;
+  t.run([](TestVm& tv) -> Task<> {
+    const GuestOsConfig cfg = GuestOsConfig::test_tiny();
+    co_await GuestOs::build_image(tv.dev, cfg);
+    co_await GuestOs::boot(*tv.vm, cfg);
+  }(t));
+  ASSERT_NE(t.vm->fs(), nullptr);
+  EXPECT_TRUE(t.vm->fs()->exists("/boot/vmlinuz"));
+  EXPECT_TRUE(t.vm->fs()->exists("/var/log/boot000.log"));
+  // Boot consumed CPU time.
+  EXPECT_GE(t.sim.now(), sim::kSecond);
+}
+
+TEST(GuestOsTest, BootReadsHotSet) {
+  TestVm t;
+  t.run([](TestVm& tv) -> Task<> {
+    const GuestOsConfig cfg = GuestOsConfig::test_tiny();
+    co_await GuestOs::build_image(tv.dev, cfg);
+    co_await GuestOs::boot(*tv.vm, cfg);
+  }(t));
+  // Hot files were read with real content (test_tiny is non-phantom).
+  const GuestOsConfig cfg = GuestOsConfig::test_tiny();
+  EXPECT_GT(cfg.hot_set_bytes(), 0u);
+}
+
+TEST(GuestOsTest, ImageContentIsReadableByFreshMount) {
+  TestVm t;
+  bool ok = false;
+  t.run([](TestVm& tv, bool& result) -> Task<> {
+    const GuestOsConfig cfg = GuestOsConfig::test_tiny();
+    co_await GuestOs::build_image(tv.dev, cfg);
+    auto fs = co_await guestfs::SimpleFs::mount(tv.dev);
+    const Buffer kernel = co_await fs->read_file("/boot/vmlinuz");
+    result = kernel.size() == 2 * common::kMB && !kernel.is_phantom();
+  }(t, ok));
+  EXPECT_TRUE(ok);
+}
+
+Task<> gated_worker(VmInstance& vm, std::vector<Time>& progress) {
+  for (int i = 0; i < 4; ++i) {
+    co_await vm.guest_compute(100);
+    progress.push_back(vm.simulation().now());
+  }
+}
+
+TEST(GuestOsTest, CustomFilesGetParentDirectoriesCreated) {
+  // Applications may add files anywhere in the image tree (e.g. the k-mer
+  // scan's reference dataset); build_image must create missing parents.
+  TestVm t;
+  bool ok = false;
+  t.run([](TestVm& tv, bool& result) -> Task<> {
+    GuestOsConfig cfg = GuestOsConfig::test_tiny();
+    cfg.files.push_back({"/srv/refdata/deep/genome.seq", 128 * 1024, false});
+    co_await GuestOs::build_image(tv.dev, cfg);
+    auto fs = co_await guestfs::SimpleFs::mount(tv.dev);
+    const Buffer ref = co_await fs->read_file("/srv/refdata/deep/genome.seq");
+    result = ref.size() == 128 * 1024 && fs->stat("/srv").is_dir &&
+             fs->stat("/srv/refdata").is_dir &&
+             fs->stat("/srv/refdata/deep").is_dir;
+  }(t, ok));
+  EXPECT_TRUE(ok);
+}
+
+TEST(VmInstanceTest, PauseStallsGuestCompute) {
+  TestVm t;
+  std::vector<Time> progress;
+  auto p = t.sim.spawn("guest", gated_worker(*t.vm, progress));
+  t.sim.call_at(150, [&] { t.vm->pause(); });
+  t.sim.call_at(1000, [&] { t.vm->resume(); });
+  t.sim.run();
+  ASSERT_FALSE(p->error());
+  ASSERT_EQ(progress.size(), 4u);
+  EXPECT_EQ(progress[0], 100);
+  EXPECT_EQ(progress[1], 200);  // in flight when pause hit: completes
+  // Next compute was gated until resume at t=1000.
+  EXPECT_EQ(progress[2], 1100);
+  EXPECT_EQ(progress[3], 1200);
+}
+
+TEST(VmInstanceTest, RamAccountingIncludesGuestRegions) {
+  TestVm t;
+  const std::uint64_t base = t.vm->ram_state_bytes();
+  EXPECT_EQ(base, 100 * common::kMB);
+  t.vm->start_guest("proc", [](GuestProcess& gp) -> Task<> {
+    gp.set_region("buffer", Buffer::phantom(50 * common::kMB));
+    co_return;
+  });
+  t.sim.run();
+  EXPECT_EQ(t.vm->ram_state_bytes(),
+            100 * common::kMB + 50 * common::kMB +
+                t.vm->config().process_overhead_bytes);
+}
+
+TEST(VmInstanceTest, DestroyKillsGuests) {
+  TestVm t;
+  bool finished = false;
+  t.vm->start_guest("proc", [&finished](GuestProcess& gp) -> Task<> {
+    co_await gp.compute(1'000'000);
+    finished = true;
+  });
+  t.sim.call_at(100, [&] { t.vm->destroy(); });
+  t.sim.run();
+  EXPECT_FALSE(finished);
+  EXPECT_TRUE(t.vm->destroyed());
+  EXPECT_EQ(t.vm->guest_procs()[0]->state(), sim::Process::State::Killed);
+}
+
+TEST(VmInstanceTest, JoinGuestsPropagatesCompletion) {
+  TestVm t;
+  int done = 0;
+  t.run([](TestVm& tv, int& count) -> Task<> {
+    tv.vm->start_guest("a", [&count](GuestProcess& gp) -> Task<> {
+      co_await gp.compute(10);
+      ++count;
+    });
+    tv.vm->start_guest("b", [&count](GuestProcess& gp) -> Task<> {
+      co_await gp.compute(20);
+      ++count;
+    });
+    co_await tv.vm->join_guests();
+  }(t, done));
+  EXPECT_EQ(done, 2);
+}
+
+}  // namespace
+}  // namespace blobcr::vm
