@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release and runs each bench/ binary, emitting one
+# bench-results/BENCH_<name>.json per figure so the perf trajectory
+# accumulates across PRs.
+#
+# Env:
+#   BLOBCR_BENCH_FAST  1 (default) = reduced sweeps (CI smoke);
+#                      0 = full paper-scale sweeps
+#   BUILD_DIR          build directory (default: build-bench)
+#   OUT_DIR            results directory (default: bench-results)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export BLOBCR_BENCH_FAST="${BLOBCR_BENCH_FAST:-1}"
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+OUT_DIR="${OUT_DIR:-bench-results}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+mkdir -p "$OUT_DIR"
+status=0
+for src in bench/*.cpp; do
+  name="$(basename "$src" .cpp)"
+  [ "$name" = "bench_common" ] && continue
+  bin="$BUILD_DIR/$name"
+  if [ ! -x "$bin" ]; then
+    echo "SKIP $name (no binary — benchmark library missing?)" >&2
+    continue
+  fi
+  echo "=== $name (BLOBCR_BENCH_FAST=$BLOBCR_BENCH_FAST) ==="
+  if ! "$bin" --benchmark_out="$OUT_DIR/BENCH_${name}.json" \
+              --benchmark_out_format=json; then
+    echo "FAIL $name" >&2
+    status=1
+  fi
+done
+exit $status

@@ -203,6 +203,8 @@ Task<> cm1_rank_body(Deployment* dep, Cm1Run run, Cm1Config cfg,
   mpi::CoordinatedHooks hooks;
   hooks.vm_leader = (rank % run.ranks_per_vm == 0);
   hooks.fs = gp->vm().fs();
+  hooks.reducer = dep->reducer();
+  hooks.epoch_leader = (rank == 0);
   Cm1Rank* cm1p = &cm1;
   if (mode == CkptMode::AppLevel) {
     hooks.dump = [cm1p]() -> Task<> { (void)co_await cm1p->write_checkpoint(); };

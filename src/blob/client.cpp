@@ -2,12 +2,35 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "reduce/rle.h"
 #include "sim/when_all.h"
 
 namespace blobcr::blob {
 
 namespace {
+
+/// Maps a fetched (possibly reduced) chunk payload back to logical bytes.
+common::Buffer decode_chunk(const ChunkLocation& loc, common::Buffer stored) {
+  switch (loc.encoding) {
+    case ChunkEncoding::Raw:
+    case ChunkEncoding::Zero:
+      return stored;
+    case ChunkEncoding::Rle: {
+      if (!stored.fully_real()) throw BlobError("phantom RLE chunk payload");
+      return common::Buffer::real(
+          reduce::rle_decode(stored.bytes(), loc.logical()));
+    }
+    case ChunkEncoding::PhantomRatio:
+      // The stored payload is a size-only placeholder at the modeled
+      // compressed size; the logical content was phantom to begin with.
+      return common::Buffer::phantom(loc.logical());
+  }
+  return stored;
+}
 
 /// True iff any write index falls in [lo, hi).
 bool overlaps(const std::vector<std::pair<std::uint64_t, ChunkLocation>>& w,
@@ -104,7 +127,8 @@ sim::Task<VersionId> BlobClient::write_extents(BlobId blob,
 }
 
 sim::Task<VersionId> BlobClient::write_extents_via(
-    BlobId blob, std::vector<ExtentSpec> extents, ExtentReader* reader) {
+    BlobId blob, std::vector<ExtentSpec> extents, ExtentReader* reader,
+    CommitReducer* reducer) {
   VersionId latest = 0;
   const VersionEntry base = co_await resolve(blob, latest);
   const std::uint64_t chunk_size = base.chunk_size;
@@ -139,35 +163,147 @@ sim::Task<VersionId> BlobClient::write_extents_via(
   if (pieces.back().index >= capacity_chunks())
     throw BlobError("write beyond blob capacity");
 
-  // Placement: one allocation round-trip for the whole commit.
-  std::vector<std::uint32_t> sizes;
-  sizes.reserve(pieces.size());
-  for (const Piece& p : pieces) sizes.push_back(p.length);
   const int replication = store_->config().replication;
-  std::vector<ChunkLocation> locs =
-      co_await store_->provider_manager().allocate(
-          node_, sizes, replication, store_->chunk_id_counter());
+  std::vector<ChunkLocation> locs(pieces.size());
+  std::uint64_t stored_payload = payload_bytes;
 
-  // Pipelined stores: each window slot pulls a chunk through the reader
-  // (e.g. local disk) and ships it to all replicas. The reader outlives the
-  // pipeline (owned by our caller's frame).
-  std::vector<sim::Task<>> stores;
-  stores.reserve(pieces.size());
-  for (std::size_t i = 0; i < pieces.size(); ++i) {
-    stores.push_back(
-        [](BlobClient* self, Piece piece, ChunkLocation loc,
-           ExtentReader* rd) -> sim::Task<> {
-          common::Buffer data =
-              co_await (*rd)(piece.offset, piece.length);
-          for (const net::NodeId replica : loc.replicas) {
-            DataProvider* provider = self->store_->provider_at(replica);
-            if (provider == nullptr) throw BlobError("no provider at node");
-            co_await provider->store(self->node_, loc.id, data);
+  if (reducer == nullptr) {
+    // Placement: one allocation round-trip for the whole commit.
+    std::vector<std::uint32_t> sizes;
+    sizes.reserve(pieces.size());
+    for (const Piece& p : pieces) sizes.push_back(p.length);
+    locs = co_await store_->provider_manager().allocate(
+        node_, sizes, replication, store_->chunk_id_counter());
+
+    // Pipelined stores: each window slot pulls a chunk through the reader
+    // (e.g. local disk) and ships it to all replicas. The reader outlives
+    // the pipeline (owned by our caller's frame).
+    std::vector<sim::Task<>> stores;
+    stores.reserve(pieces.size());
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      stores.push_back(
+          [](BlobClient* self, Piece piece, ChunkLocation loc,
+             ExtentReader* rd) -> sim::Task<> {
+            common::Buffer data =
+                co_await (*rd)(piece.offset, piece.length);
+            for (const net::NodeId replica : loc.replicas) {
+              DataProvider* provider = self->store_->provider_at(replica);
+              if (provider == nullptr) throw BlobError("no provider at node");
+              co_await provider->store(self->node_, loc.id, data);
+            }
+          }(this, pieces[i], locs[i], reader));
+    }
+    co_await sim::run_window(store_->simulation(),
+                             store_->config().write_window,
+                             std::move(stores));
+  } else {
+    // --- Reduced commit path ------------------------------------------
+    // Phase 1 (window-limited): pull each chunk through the reader and the
+    // reduction pipeline. Surviving payloads stay in memory until phase 3,
+    // so the local cache is read exactly once per chunk.
+    std::vector<ReducedChunk> plans(pieces.size());
+    // Every dedup Ref was pinned inside reduce() (the GC cannot see the
+    // reference until this version publishes); release the pins when this
+    // frame ends — after publish, or on any failure path.
+    struct RefPinGuard {
+      CommitReducer* red;
+      const std::vector<ReducedChunk>* plans;
+      ~RefPinGuard() {
+        std::vector<ChunkId> ids;
+        for (const ReducedChunk& p : *plans) {
+          if (p.kind == ReducedChunk::Kind::Ref && p.ref.id != 0) {
+            ids.push_back(p.ref.id);
           }
-        }(this, pieces[i], locs[i], reader));
+        }
+        if (!ids.empty()) red->release_refs(ids);
+      }
+    } pin_guard{reducer, &plans};
+    std::vector<sim::Task<>> reduces;
+    reduces.reserve(pieces.size());
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      reduces.push_back(
+          [](BlobClient* self, const Piece& piece, ExtentReader* rd,
+             CommitReducer* red, ReducedChunk* plan) -> sim::Task<> {
+            common::Buffer data = co_await (*rd)(piece.offset, piece.length);
+            *plan = co_await red->reduce(self->node_, piece.offset,
+                                         std::move(data));
+          }(this, pieces[i], reader, reducer, &plans[i]));
+    }
+    co_await sim::run_window(store_->simulation(),
+                             store_->config().write_window,
+                             std::move(reduces));
+
+    // Phase 2: intra-commit dedup (identical chunks of one commit collapse
+    // onto their first occurrence), then one placement round-trip covering
+    // only the chunks that genuinely store.
+    constexpr std::size_t kNoAlias = static_cast<std::size_t>(-1);
+    std::unordered_map<std::uint64_t, std::size_t> first_of_digest;
+    std::vector<std::size_t> alias(pieces.size(), kNoAlias);
+    std::vector<std::size_t> store_idx;
+    std::vector<std::uint32_t> sizes;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      if (plans[i].kind != ReducedChunk::Kind::Store) continue;
+      if (plans[i].index_on_commit) {
+        const auto [it, fresh] =
+            first_of_digest.try_emplace(plans[i].digest, i);
+        if (!fresh && pieces[it->second].length == pieces[i].length) {
+          alias[i] = it->second;
+          reducer->account_aliased(pieces[i].length);
+          continue;
+        }
+      }
+      store_idx.push_back(i);
+      sizes.push_back(static_cast<std::uint32_t>(plans[i].payload.size()));
+    }
+    std::vector<ChunkLocation> alloc;
+    if (!sizes.empty()) {
+      alloc = co_await store_->provider_manager().allocate(
+          node_, sizes, replication, store_->chunk_id_counter());
+    }
+    stored_payload = 0;
+    for (std::size_t k = 0; k < store_idx.size(); ++k) {
+      const std::size_t i = store_idx[k];
+      ChunkLocation loc = alloc[k];
+      loc.encoding = plans[i].encoding;
+      loc.logical_size = pieces[i].length;
+      stored_payload += loc.size;
+      reducer->account_stored(pieces[i].length, loc.size);
+      locs[i] = std::move(loc);
+    }
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      if (alias[i] != kNoAlias) {
+        locs[i] = locs[alias[i]];
+      } else if (plans[i].kind == ReducedChunk::Kind::Ref) {
+        locs[i] = plans[i].ref;
+      } else if (plans[i].kind == ReducedChunk::Kind::Zero) {
+        ChunkLocation hole;
+        hole.encoding = ChunkEncoding::Zero;
+        hole.logical_size = pieces[i].length;
+        locs[i] = hole;
+      }
+    }
+
+    // Phase 3: window-limited stores of the surviving chunks. Each chunk
+    // enters the dedup index the moment every replica holds it, so other
+    // ranks of the same global checkpoint can already dedup against it.
+    std::vector<sim::Task<>> stores;
+    stores.reserve(store_idx.size());
+    for (const std::size_t i : store_idx) {
+      stores.push_back(
+          [](BlobClient* self, ReducedChunk* plan, const ChunkLocation& loc,
+             CommitReducer* red) -> sim::Task<> {
+            for (const net::NodeId replica : loc.replicas) {
+              DataProvider* provider = self->store_->provider_at(replica);
+              if (provider == nullptr) throw BlobError("no provider at node");
+              co_await provider->store(self->node_, loc.id, plan->payload);
+            }
+            if (plan->index_on_commit) red->committed(plan->digest, loc);
+          }(this, &plans[i], locs[i], reducer));
+    }
+    co_await sim::run_window(store_->simulation(),
+                             store_->config().write_window,
+                             std::move(stores));
   }
-  co_await sim::run_window(store_->simulation(), store_->config().write_window,
-                           std::move(stores));
 
   // Warm the metadata cache over the written range, then path-copy.
   std::vector<std::pair<std::uint64_t, ChunkLocation>> writes;
@@ -188,8 +324,10 @@ sim::Task<VersionId> BlobClient::write_extents_via(
   co_await store_->metadata().put_nodes(node_, std::move(new_nodes));
 
   const std::uint64_t chunk_bytes =
-      payload_bytes * static_cast<std::uint64_t>(replication);
+      stored_payload * static_cast<std::uint64_t>(replication);
   bytes_written_ += payload_bytes;
+  last_commit_raw_ = payload_bytes;
+  last_commit_stored_ = stored_payload;
   const VersionId v = co_await store_->version_manager().publish(
       node_, blob, new_root, new_size, chunk_bytes, meta_bytes);
   version_cache_[VersionKey{blob, v}] =
@@ -307,38 +445,49 @@ sim::Task<common::Buffer> BlobClient::read(BlobId blob, VersionId version,
   std::vector<std::pair<std::uint64_t, ChunkLocation>> leaves;
   co_await descend(entry.root, capacity_chunks(), lo_chunk, hi_chunk, &leaves);
 
-  // Fetch all covered chunks (window-limited), then assemble.
-  struct Fetched {
-    std::uint64_t index;
-    common::Buffer data;
-  };
-  auto results = std::make_shared<std::vector<Fetched>>();
+  // Fetch each distinct chunk once (dedup can alias many leaves onto one
+  // stored chunk — re-fetching per leaf would pay on restore the transfers
+  // dedup saved on commit), window-limited, then assemble per leaf.
+  auto fetched =
+      std::make_shared<std::unordered_map<ChunkId, common::Buffer>>();
   std::vector<sim::Task<>> fetches;
   for (const auto& [index, loc] : leaves) {
+    // Zero-suppressed leaves are metadata-only holes: no payload to fetch;
+    // the assembly below fills uncovered gaps with zeros.
+    if (loc.encoding == ChunkEncoding::Zero || loc.id == 0) continue;
+    if (!fetched->try_emplace(loc.id).second) continue;  // already scheduled
     fetches.push_back(
-        [](BlobClient* self, std::uint64_t idx, ChunkLocation l,
-           std::shared_ptr<std::vector<Fetched>> res) -> sim::Task<> {
-          common::Buffer data = co_await self->fetch_chunk(l);
-          res->push_back(Fetched{idx, std::move(data)});
-        }(this, index, loc, results));
+        [](BlobClient* self, ChunkLocation l,
+           std::shared_ptr<std::unordered_map<ChunkId, common::Buffer>> res)
+            -> sim::Task<> {
+          (*res)[l.id] = co_await self->fetch_chunk(l);
+        }(this, loc, fetched));
   }
   co_await sim::run_window(store_->simulation(), store_->config().read_window,
                            std::move(fetches));
 
-  // Ordered piecewise assembly (holes read as zeros).
-  std::sort(results->begin(), results->end(),
-            [](const Fetched& a, const Fetched& b) { return a.index < b.index; });
+  // Decode once per distinct chunk, in place (an RLE chunk aliased by many
+  // leaves must not be re-decoded per leaf), then assemble piecewise in
+  // order (holes read as zeros).
+  std::sort(leaves.begin(), leaves.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::unordered_set<ChunkId> decoded;
   common::Buffer out;
   std::uint64_t cursor = offset;
-  for (Fetched& f : *results) {
-    const std::uint64_t chunk_begin = f.index * chunk_size;
+  for (const auto& [index, loc] : leaves) {
+    if (loc.encoding == ChunkEncoding::Zero || loc.id == 0) continue;
+    common::Buffer& data = fetched->at(loc.id);
+    if (decoded.insert(loc.id).second) {
+      data = decode_chunk(loc, std::move(data));
+    }
+    const std::uint64_t chunk_begin = index * chunk_size;
     const std::uint64_t copy_begin = std::max(chunk_begin, offset);
     const std::uint64_t copy_end =
-        std::min(chunk_begin + f.data.size(), offset + len);
+        std::min(chunk_begin + data.size(), offset + len);
     if (copy_begin >= copy_end) continue;
     if (copy_begin > cursor) out.append(common::Buffer::zeros(copy_begin - cursor));
     out.append(
-        f.data.slice(copy_begin - chunk_begin, copy_end - copy_begin));
+        data.slice(copy_begin - chunk_begin, copy_end - copy_begin));
     cursor = copy_end;
   }
   if (cursor < offset + len) {

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "blob/reducer.h"
 #include "blob/store.h"
 #include "blob/types.h"
 #include "common/buffer.h"
@@ -56,9 +57,17 @@ class BlobClient {
   /// producing the data (e.g. reading the mirroring module's local cache
   /// from disk) overlaps with shipping it to the providers. The caller owns
   /// `reader` and must keep it alive until this task completes.
+  ///
+  /// With a `reducer`, every chunk runs through the reduction pipeline
+  /// first: all-zero chunks become metadata-only holes, content already in
+  /// the repository (other ranks, previous versions, or earlier in this
+  /// commit) is referenced instead of re-stored, and remaining payloads may
+  /// be compressed. The published version's new_chunk_bytes then reflects
+  /// what actually shipped.
   sim::Task<VersionId> write_extents_via(BlobId blob,
                                          std::vector<ExtentSpec> extents,
-                                         ExtentReader* reader);
+                                         ExtentReader* reader,
+                                         CommitReducer* reducer = nullptr);
 
   /// Reads [offset, offset+len) of a version. Unwritten holes read as zeros.
   sim::Task<common::Buffer> read(BlobId blob, VersionId version,
@@ -72,6 +81,10 @@ class BlobClient {
   std::uint64_t bytes_written() const { return bytes_written_; }
   std::uint64_t bytes_read() const { return bytes_read_; }
   std::size_t cached_nodes() const { return node_cache_.size(); }
+  /// Raw vs. actually-shipped payload of the most recent commit (equal when
+  /// no reducer ran; shipped excludes replication).
+  std::uint64_t last_commit_raw_bytes() const { return last_commit_raw_; }
+  std::uint64_t last_commit_stored_bytes() const { return last_commit_stored_; }
 
  private:
   struct VersionKey {
@@ -123,6 +136,8 @@ class BlobClient {
   std::unordered_map<BlobId, std::uint64_t> chunk_size_cache_;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;
+  std::uint64_t last_commit_raw_ = 0;
+  std::uint64_t last_commit_stored_ = 0;
 };
 
 }  // namespace blobcr::blob

@@ -21,6 +21,10 @@ class GarbageCollector {
   struct Result {
     std::uint64_t reclaimed_bytes = 0;
     std::size_t chunks_deleted = 0;
+    /// Chunks referenced by dropped versions that survived because another
+    /// live version (possibly of another blob, via cloning or dedup) still
+    /// references them.
+    std::size_t chunks_kept_shared = 0;
   };
 
   /// Drops versions < keep_from of `blob` and reclaims chunks no longer
@@ -38,6 +42,10 @@ class GarbageCollector {
         mark_live(v.root, live, visited);
       }
     }
+    // Chunks referenced by commits still in flight (a dedup Ref taken
+    // before its version publishes) are invisible to the tree walk; the
+    // reduction pipelines pin them until the commit completes.
+    store_->collect_pinned_chunks(live);
     visited.clear();
     const BlobMeta& target = store_->version_manager().peek(blob);
     for (const VersionInfo& v : target.versions) {
@@ -46,8 +54,15 @@ class GarbageCollector {
     }
 
     Result result;
+    std::vector<ChunkId> swept;
     for (const auto& [cid, loc] : dropped) {
-      if (live.count(cid) != 0) continue;
+      // Reference check before reclaiming: with cloning and content-
+      // addressed dedup a chunk may back leaves of many trees, so it is
+      // reclaimable only when no live version of any blob reaches it.
+      if (live.count(cid) != 0) {
+        ++result.chunks_kept_shared;
+        continue;
+      }
       bool erased_any = false;
       for (const net::NodeId node : loc.replicas) {
         if (DataProvider* p = store_->provider_at(node)) {
@@ -58,8 +73,16 @@ class GarbageCollector {
         ++result.chunks_deleted;
         result.reclaimed_bytes += loc.size;
       }
+      // Swept whether or not a replica was left to erase (the chunk may
+      // already be gone with its failed nodes) — either way it must leave
+      // the digest indexes below.
+      swept.push_back(cid);
     }
     store_->version_manager().drop_version_records(blob, keep_from);
+    // Tell the reduction subsystem's digest indexes these chunks are gone —
+    // a dedup hit on a reclaimed (or node-loss-orphaned) chunk would
+    // silently lose data.
+    store_->notify_chunks_reclaimed(swept);
     return result;
   }
 
@@ -70,7 +93,7 @@ class GarbageCollector {
     const TreeNode* node = store_->metadata().peek_node(ref);
     if (node == nullptr) return;
     if (node->leaf) {
-      live.insert(node->chunk.id);
+      if (node->chunk.id != 0) live.insert(node->chunk.id);
       return;
     }
     mark_live(node->left, live, visited);
@@ -84,7 +107,8 @@ class GarbageCollector {
     const TreeNode* node = store_->metadata().peek_node(ref);
     if (node == nullptr) return;
     if (node->leaf) {
-      out[node->chunk.id] = node->chunk;
+      // id 0 marks zero-suppressed (payload-free) leaves: nothing to sweep.
+      if (node->chunk.id != 0) out[node->chunk.id] = node->chunk;
       return;
     }
     collect_chunks(node->left, out, visited);

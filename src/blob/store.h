@@ -5,8 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "blob/data_provider.h"
@@ -101,6 +104,43 @@ class BlobStore {
   ChunkId& chunk_id_counter() { return next_chunk_id_; }
   NodeRef& node_ref_counter() { return next_node_ref_; }
 
+  /// Chunk-reclaim observers: the reduction subsystem's digest indexes must
+  /// drop entries for chunks the garbage collector deletes, otherwise a
+  /// later dedup hit would reference reclaimed (lost) content. Hooks are
+  /// deployment-scoped objects with shorter lifetimes than the store, hence
+  /// the id-based deregistration.
+  using ChunkReclaimHook = std::function<void(const std::vector<ChunkId>&)>;
+  std::uint64_t add_chunk_reclaim_hook(ChunkReclaimHook hook) {
+    const std::uint64_t id = ++next_hook_id_;
+    reclaim_hooks_.emplace_back(id, std::move(hook));
+    return id;
+  }
+  void remove_chunk_reclaim_hook(std::uint64_t id) {
+    std::erase_if(reclaim_hooks_,
+                  [id](const auto& h) { return h.first == id; });
+  }
+  void notify_chunks_reclaimed(const std::vector<ChunkId>& ids) {
+    if (ids.empty()) return;
+    for (const auto& [id, hook] : reclaim_hooks_) hook(ids);
+  }
+
+  /// Pin sources: chunks referenced by in-flight reduced commits (a dedup
+  /// Ref taken before the version publishes is invisible to the GC's tree
+  /// walk). The GC unions every source's pins into its live set.
+  using ChunkPinSource = std::function<void(std::unordered_set<ChunkId>&)>;
+  std::uint64_t add_chunk_pin_source(ChunkPinSource source) {
+    const std::uint64_t id = ++next_hook_id_;
+    pin_sources_.emplace_back(id, std::move(source));
+    return id;
+  }
+  void remove_chunk_pin_source(std::uint64_t id) {
+    std::erase_if(pin_sources_,
+                  [id](const auto& h) { return h.first == id; });
+  }
+  void collect_pinned_chunks(std::unordered_set<ChunkId>& out) const {
+    for (const auto& [id, source] : pin_sources_) source(out);
+  }
+
  private:
   sim::Simulation* sim_;
   net::Fabric* fabric_;
@@ -112,6 +152,9 @@ class BlobStore {
   std::unique_ptr<VersionManager> version_manager_;
   ChunkId next_chunk_id_ = 1;
   NodeRef next_node_ref_ = 1;
+  std::vector<std::pair<std::uint64_t, ChunkReclaimHook>> reclaim_hooks_;
+  std::vector<std::pair<std::uint64_t, ChunkPinSource>> pin_sources_;
+  std::uint64_t next_hook_id_ = 0;
 };
 
 }  // namespace blobcr::blob

@@ -22,11 +22,24 @@ class BlobError : public std::runtime_error {
   explicit BlobError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// How a stored chunk payload maps back to logical bytes (set by the
+/// reduction pipeline; plain commits always store Raw).
+enum class ChunkEncoding : std::uint8_t {
+  Raw = 0,       // stored bytes == logical bytes
+  Zero = 1,      // metadata-only hole: no stored payload, reads as zeros
+  Rle = 2,       // run-length encoded real payload
+  PhantomRatio = 3,  // phantom payload stored at a modeled compressed size
+};
+
 /// Where a chunk's replicas live.
 struct ChunkLocation {
-  ChunkId id = 0;
-  std::uint32_t size = 0;
+  ChunkId id = 0;          // 0 only for Zero-encoded (payload-free) leaves
+  std::uint32_t size = 0;  // stored payload size (post-reduction)
   std::vector<net::NodeId> replicas;
+  ChunkEncoding encoding = ChunkEncoding::Raw;
+  std::uint32_t logical_size = 0;  // 0 => same as `size` (Raw)
+
+  std::uint32_t logical() const { return logical_size != 0 ? logical_size : size; }
 };
 
 /// One node of the persistent (path-copied) metadata segment tree over the

@@ -74,6 +74,25 @@ bool Buffer::is_phantom() const {
 
 bool Buffer::fully_real() const { return !is_phantom(); }
 
+bool Buffer::fully_phantom() const {
+  if (segs_.empty()) return false;
+  for (const Segment& s : segs_) {
+    if (!s.phantom) return false;
+  }
+  return true;
+}
+
+bool Buffer::all_zero() const {
+  if (segs_.empty()) return false;
+  for (const Segment& s : segs_) {
+    if (s.phantom) return false;
+    for (const std::byte b : s.data) {
+      if (b != std::byte{0}) return false;
+    }
+  }
+  return true;
+}
+
 std::span<const std::byte> Buffer::bytes() const {
   if (segs_.empty()) return {};
   // Canonical form: a fully-real buffer is one merged segment.

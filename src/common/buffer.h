@@ -47,6 +47,11 @@ class Buffer {
   bool is_phantom() const;
   /// True iff every byte is real (an empty buffer is fully real).
   bool fully_real() const;
+  /// True iff non-empty, every byte phantom (no real segments).
+  bool fully_phantom() const;
+  /// True iff every byte is real and zero (phantom content is unknowable,
+  /// so any phantom segment makes this false; empty buffers are not zero).
+  bool all_zero() const;
 
   /// Flat view of the payload; requires fully_real() (empty span otherwise).
   std::span<const std::byte> bytes() const;

@@ -5,6 +5,7 @@
 
 #include "common/strutil.h"
 #include "img/mem_device.h"
+#include "reduce/reducer.h"
 #include "sim/when_all.h"
 #include "vm/guest_os.h"
 
@@ -171,6 +172,11 @@ Deployment::Deployment(Cloud& cloud, std::size_t instances,
       seq_(cloud.next_deployment_seq()) {
   bus_ = std::make_unique<PrefetchBus>(cloud.simulation(),
                                        cloud.config().hint_latency);
+  if (cloud.config().backend == Backend::BlobCR &&
+      cloud.config().reduction.enabled) {
+    reducer_ = std::make_unique<reduce::Reducer>(*cloud.blob_store(),
+                                                 cloud.config().reduction);
+  }
   mpi_ = std::make_unique<mpi::MpiWorld>(cloud.simulation(), cloud.fabric());
 }
 
@@ -189,7 +195,7 @@ void Deployment::build_instance_fresh(std::size_t i, net::NodeId node) {
     inst->mirror = std::make_unique<MirrorDevice>(
         *cloud.blob_store(), node, cloud.disk(node),
         cloud.next_disk_stream(node), cloud.base_blob(), 1, mcfg,
-        cfg.adaptive_prefetch ? bus_.get() : nullptr);
+        cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_.get());
     inst->proxy = std::make_unique<CheckpointProxy>(
         cloud.simulation(), cloud.fabric(), node, cfg.proxy_auth_cost);
   } else {
@@ -344,7 +350,7 @@ sim::Task<> Deployment::build_instance_from_snapshot(std::size_t i,
     inst->mirror = std::make_unique<MirrorDevice>(
         *cloud.blob_store(), node, cloud.disk(node),
         cloud.next_disk_stream(node), snap.image, snap.version, mcfg,
-        cfg.adaptive_prefetch ? bus_.get() : nullptr);
+        cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_.get());
     // Subsequent checkpoints land in the same checkpoint image.
     inst->mirror->set_checkpoint_blob(snap.image, snap.version);
     inst->proxy = std::make_unique<CheckpointProxy>(

@@ -24,10 +24,15 @@
 #include "net/fabric.h"
 #include "pfs/pvfs.h"
 #include "pfs/pvfs_store.h"
+#include "reduce/reduction.h"
 #include "sim/sim.h"
 #include "storage/disk.h"
 #include "vm/guest_os.h"
 #include "vm/vm_instance.h"
+
+namespace blobcr::reduce {
+class Reducer;
+}
 
 namespace blobcr::core {
 
@@ -50,6 +55,9 @@ struct CloudConfig {
   std::uint64_t qcow_cluster_size = 64 * 1024;
 
   Backend backend = Backend::BlobCR;
+  /// Snapshot data-reduction pipeline on the commit path (BlobCR backend
+  /// only). Off by default; see src/reduce/reduction.h for the knobs.
+  reduce::ReductionConfig reduction;
   bool adaptive_prefetch = true;
   sim::Duration hint_latency = 300 * sim::kMicrosecond;
   sim::Duration proxy_auth_cost = 500 * sim::kMicrosecond;
@@ -177,6 +185,10 @@ class Deployment {
   vm::VmInstance& vm(std::size_t i) { return *instances_.at(i)->vm; }
   mpi::MpiWorld& mpi() { return *mpi_; }
   PrefetchBus& prefetch_bus() { return *bus_; }
+  /// Deployment-wide reduction pipeline (nullptr when reduction is off or
+  /// the backend is not BlobCR). Shared by all mirroring modules, like the
+  /// prefetch bus, so dedup works across ranks and snapshot versions.
+  reduce::Reducer* reducer() { return reducer_.get(); }
 
   /// Creates devices and VMs from the base image and boots all instances in
   /// parallel.
@@ -227,6 +239,7 @@ class Deployment {
   std::size_t node_offset_;
   std::uint64_t seq_;  // unique per deployment; namespaces snapshot files
   std::unique_ptr<PrefetchBus> bus_;
+  std::unique_ptr<reduce::Reducer> reducer_;
   std::unique_ptr<mpi::MpiWorld> mpi_;
   std::vector<std::unique_ptr<Instance>> instances_;
 };

@@ -10,7 +10,7 @@ MirrorDevice::MirrorDevice(blob::BlobStore& store, net::NodeId host,
                            std::uint64_t disk_stream,
                            blob::BlobId backing_blob,
                            blob::VersionId backing_version, const Config& cfg,
-                           PrefetchBus* bus)
+                           PrefetchBus* bus, blob::CommitReducer* reducer)
     : store_(&store),
       host_(host),
       disk_(&local_disk),
@@ -19,6 +19,7 @@ MirrorDevice::MirrorDevice(blob::BlobStore& store, net::NodeId host,
       backing_version_(backing_version),
       cfg_(cfg),
       bus_(bus),
+      reducer_(reducer),
       client_(store, host),
       fetch_done_(store.simulation()) {
   assert(cfg_.capacity > 0);
@@ -138,6 +139,7 @@ sim::Task<blob::VersionId> MirrorDevice::ioctl_commit() {
   if (rounded.empty()) {
     // Unchanged disk: the previous snapshot already captures this state.
     last_commit_payload_ = 0;
+    last_commit_shipped_ = 0;
     co_return last_version_;
   }
 
@@ -184,9 +186,10 @@ sim::Task<blob::VersionId> MirrorDevice::ioctl_commit() {
   };
   const blob::VersionId v =
       co_await client_.write_extents_via(ckpt_blob_, std::move(specs),
-                                         &reader);
+                                         &reader, reducer_);
   dirty_.clear();
   last_commit_payload_ = payload;
+  last_commit_shipped_ = client_.last_commit_stored_bytes();
   last_version_ = v;
   co_return v;
 }

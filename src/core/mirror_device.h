@@ -39,7 +39,8 @@ class MirrorDevice : public img::BlockDevice {
   MirrorDevice(blob::BlobStore& store, net::NodeId host,
                storage::Disk& local_disk, std::uint64_t disk_stream,
                blob::BlobId backing_blob, blob::VersionId backing_version,
-               const Config& cfg, PrefetchBus* bus = nullptr);
+               const Config& cfg, PrefetchBus* bus = nullptr,
+               blob::CommitReducer* reducer = nullptr);
   ~MirrorDevice() override;
 
   // --- BlockDevice ---
@@ -72,7 +73,11 @@ class MirrorDevice : public img::BlockDevice {
     return available_.total_length();
   }
   std::uint64_t remote_bytes_fetched() const { return remote_fetched_; }
+  /// Raw (pre-reduction) payload of the last commit.
   std::uint64_t last_commit_payload() const { return last_commit_payload_; }
+  /// Payload that actually shipped to the repository for the last commit
+  /// (== last_commit_payload() when no reduction pipeline is attached).
+  std::uint64_t last_commit_shipped() const { return last_commit_shipped_; }
 
   /// Prefetch hint from the bus: fetch [offset, offset+len) in the
   /// background if missing.
@@ -98,6 +103,7 @@ class MirrorDevice : public img::BlockDevice {
   blob::VersionId backing_version_;
   Config cfg_;
   PrefetchBus* bus_;
+  blob::CommitReducer* reducer_;  // deployment-scoped reduction pipeline
   blob::BlobClient client_;
 
   common::SparseFile cache_;      // local content (fetched + written)
@@ -109,6 +115,7 @@ class MirrorDevice : public img::BlockDevice {
   blob::VersionId last_version_ = 0;
   std::uint64_t remote_fetched_ = 0;
   std::uint64_t last_commit_payload_ = 0;
+  std::uint64_t last_commit_shipped_ = 0;
   std::vector<sim::ProcessPtr> prefetchers_;
   std::unique_ptr<sim::Semaphore> prefetch_slots_;
 };
@@ -126,22 +133,35 @@ class PrefetchBus {
   void detach(MirrorDevice* m) { std::erase(mirrors_, m); }
 
   void announce(MirrorDevice* self, std::uint64_t offset, std::uint64_t len) {
-    // Deduplicate: each aligned range is broadcast once per deployment.
-    if (announced_.contains(offset, offset + len)) return;
+    // Deduplicate: each byte range is broadcast once per deployment. A range
+    // partially overlapping earlier announcements is trimmed to the
+    // uncovered gaps, not re-broadcast in full.
+    const auto gaps = announced_.gaps(offset, offset + len);
+    if (gaps.empty()) return;
     announced_.insert(offset, offset + len);
-    for (MirrorDevice* m : mirrors_) {
-      if (m == self) continue;
-      sim_->call_in(hint_latency_, [m, offset, len] { m->hint(offset, len); });
+    for (const common::Range& gap : gaps) {
+      ++hints_sent_;
+      hinted_bytes_ += gap.length();
+      for (MirrorDevice* m : mirrors_) {
+        if (m == self) continue;
+        sim_->call_in(hint_latency_,
+                      [m, gap] { m->hint(gap.begin, gap.length()); });
+      }
     }
   }
 
   std::size_t attached() const { return mirrors_.size(); }
+  /// Hint ranges broadcast (each counted once per deployment, not per peer).
+  std::uint64_t hints_sent() const { return hints_sent_; }
+  std::uint64_t hinted_bytes() const { return hinted_bytes_; }
 
  private:
   sim::Simulation* sim_;
   sim::Duration hint_latency_;
   std::vector<MirrorDevice*> mirrors_;
   common::RangeSet announced_;
+  std::uint64_t hints_sent_ = 0;
+  std::uint64_t hinted_bytes_ = 0;
 };
 
 }  // namespace blobcr::core

@@ -126,6 +126,8 @@ Task<> epoch_worker(Deployment* dep, EpochParams p,
     mpi::CoordinatedHooks hooks;
     hooks.vm_leader = true;  // one rank per VM
     hooks.fs = gp->vm().fs();
+    hooks.reducer = dep->reducer();
+    hooks.epoch_leader = (p.rank == 0);
     if (p.mode == DumpMode::AppLevel) {
       hooks.dump = [gp]() -> Task<> {
         co_await gp->vm().gate();

@@ -1,0 +1,72 @@
+// ChunkDigestIndex: deployment-scoped content-addressed index over stored
+// chunks (keyed on the FNV-1a content digest from common/digest.h via
+// Buffer::digest, qualified by the raw chunk length). Shared by every
+// mirroring module of a deployment — like the PrefetchBus — so a chunk one
+// rank committed is a dedup hit for every other rank and for every later
+// snapshot version.
+//
+// Entries are recorded only after a chunk reached all of its replicas
+// (CommitReducer::committed), so the index never references in-flight data.
+// The garbage collector invalidates entries whose chunks it reclaims through
+// BlobStore's reclaim hooks; a stale hit after GC would silently resurrect a
+// deleted chunk.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "blob/types.h"
+#include "common/rng.h"
+
+namespace blobcr::reduce {
+
+class ChunkDigestIndex {
+ public:
+  struct Key {
+    std::uint64_t digest = 0;
+    std::uint32_t raw_size = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(
+          common::mix64(k.digest ^ (static_cast<std::uint64_t>(k.raw_size)
+                                    << 32)));
+    }
+  };
+
+  /// Location of an already-stored chunk with this content, or nullptr.
+  const blob::ChunkLocation* lookup(std::uint64_t digest,
+                                    std::uint32_t raw_size) const {
+    const auto it = entries_.find(Key{digest, raw_size});
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Records a stored chunk. First writer wins: concurrent ranks may store
+  /// the same content twice; later lookups keep returning one location.
+  void record(std::uint64_t digest, std::uint32_t raw_size,
+              const blob::ChunkLocation& loc) {
+    const Key key{digest, raw_size};
+    const auto [it, fresh] = entries_.try_emplace(key, loc);
+    if (fresh) by_chunk_.emplace(loc.id, key);
+  }
+
+  /// GC invalidation: drops every entry whose chunk was reclaimed.
+  void forget_chunks(const std::vector<blob::ChunkId>& ids) {
+    for (const blob::ChunkId id : ids) {
+      const auto it = by_chunk_.find(id);
+      if (it == by_chunk_.end()) continue;
+      entries_.erase(it->second);
+      by_chunk_.erase(it);
+    }
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<Key, blob::ChunkLocation, KeyHash> entries_;
+  std::unordered_map<blob::ChunkId, Key> by_chunk_;
+};
+
+}  // namespace blobcr::reduce

@@ -1,0 +1,134 @@
+#include "reduce/reducer.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "reduce/rle.h"
+#include "sim/time.h"
+
+namespace blobcr::reduce {
+
+Reducer::Reducer(blob::BlobStore& store, const ReductionConfig& cfg)
+    : store_(&store), cfg_(cfg) {
+  hook_id_ = store_->add_chunk_reclaim_hook(
+      [this](const std::vector<blob::ChunkId>& ids) {
+        index_.forget_chunks(ids);
+      });
+  pin_source_id_ = store_->add_chunk_pin_source(
+      [this](std::unordered_set<blob::ChunkId>& out) {
+        for (const auto& [id, count] : pinned_) out.insert(id);
+      });
+}
+
+Reducer::~Reducer() {
+  store_->remove_chunk_reclaim_hook(hook_id_);
+  store_->remove_chunk_pin_source(pin_source_id_);
+}
+
+void Reducer::begin_epoch() { epoch_base_ = stats_; }
+
+sim::Task<blob::ReducedChunk> Reducer::reduce(net::NodeId node,
+                                              std::uint64_t offset,
+                                              common::Buffer payload) {
+  (void)node;
+  (void)offset;
+  const std::uint32_t raw_size = static_cast<std::uint32_t>(payload.size());
+  ++stats_.chunks_total;
+  stats_.raw_bytes += raw_size;
+
+  if (cfg_.digest_bps > 0) {
+    co_await store_->simulation().delay(
+        sim::transfer_time(raw_size, cfg_.digest_bps));
+  }
+
+  blob::ReducedChunk out;
+
+  // 1. Zero suppression: an all-zero chunk becomes a metadata-only hole.
+  if (cfg_.zero_suppression && payload.all_zero()) {
+    out.kind = blob::ReducedChunk::Kind::Zero;
+    ++stats_.zero_chunks;
+    stats_.zero_bytes += raw_size;
+    co_return out;
+  }
+
+  // 2. Content-addressed dedup (fully-real payloads only: phantom digests
+  //    are length-derived, so matching them would fabricate savings). The
+  //    digest is only computed here — it has no other consumer.
+  const bool dedupable = cfg_.dedup && payload.fully_real();
+  if (dedupable) {
+    out.digest = payload.digest();
+    if (const blob::ChunkLocation* loc = index_.lookup(out.digest, raw_size)) {
+      out.kind = blob::ReducedChunk::Kind::Ref;
+      out.ref = *loc;
+      // Pin until the referencing commit publishes (or fails): the GC
+      // cannot see this reference in any tree yet.
+      ++pinned_[out.ref.id];
+      ++stats_.dedup_hits;
+      stats_.dedup_bytes += raw_size;
+      co_return out;
+    }
+  }
+  out.index_on_commit = dedupable;
+
+  // 3. Compression: real RLE transform, or the ratio model for pure-phantom
+  //    payloads. Mixed chunks ship raw so real content survives bit-exactly.
+  out.kind = blob::ReducedChunk::Kind::Store;
+  if (cfg_.compression && payload.fully_real()) {
+    if (cfg_.compress_bps > 0) {
+      co_await store_->simulation().delay(
+          sim::transfer_time(raw_size, cfg_.compress_bps));
+    }
+    std::vector<std::byte> encoded = rle_encode(payload.bytes());
+    if (encoded.size() < raw_size) {
+      ++stats_.compressed_chunks;
+      stats_.compress_saved_bytes += raw_size - encoded.size();
+      out.payload = common::Buffer::real(std::move(encoded));
+      out.encoding = blob::ChunkEncoding::Rle;
+      co_return out;
+    }
+  } else if (cfg_.compression && payload.fully_phantom() &&
+             cfg_.phantom_compression_ratio < 1.0) {
+    if (cfg_.compress_bps > 0) {
+      co_await store_->simulation().delay(
+          sim::transfer_time(raw_size, cfg_.compress_bps));
+    }
+    const auto stored = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(raw_size * cfg_.phantom_compression_ratio)));
+    if (stored < raw_size) {
+      ++stats_.compressed_chunks;
+      stats_.compress_saved_bytes += raw_size - stored;
+      out.payload = common::Buffer::phantom(stored);
+      out.encoding = blob::ChunkEncoding::PhantomRatio;
+      co_return out;
+    }
+  }
+  out.payload = std::move(payload);
+  out.encoding = blob::ChunkEncoding::Raw;
+  co_return out;
+}
+
+void Reducer::committed(std::uint64_t digest, const blob::ChunkLocation& loc) {
+  index_.record(digest, loc.logical(), loc);
+}
+
+void Reducer::account_stored(std::uint32_t raw_size,
+                             std::uint32_t stored_size) {
+  (void)raw_size;
+  stats_.shipped_bytes += stored_size;
+}
+
+void Reducer::account_aliased(std::uint32_t raw_size) {
+  ++stats_.dedup_hits;
+  stats_.dedup_bytes += raw_size;
+}
+
+void Reducer::release_refs(const std::vector<blob::ChunkId>& ids) {
+  for (const blob::ChunkId id : ids) {
+    const auto it = pinned_.find(id);
+    if (it == pinned_.end()) continue;
+    if (--it->second == 0) pinned_.erase(it);
+  }
+}
+
+}  // namespace blobcr::reduce

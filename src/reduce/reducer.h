@@ -1,0 +1,71 @@
+// Reducer: the concrete chunk-reduction pipeline (zero suppression ->
+// content-addressed dedup -> compression) that BlobClient consults on the
+// commit path. One Reducer per deployment, shared by all of its mirroring
+// modules — the same scoping as the PrefetchBus — so dedup works across
+// ranks as well as across successive snapshot versions.
+//
+// Honesty rules (the simulator mixes real and phantom payloads):
+//  * zero suppression and dedup apply only to fully-real payloads — phantom
+//    content is unknowable, and a phantom digest is length-derived, so
+//    "deduping" it would fabricate savings;
+//  * compression really transforms real payloads (RLE, kept only when
+//    strictly smaller) and applies a configured ratio model to pure-phantom
+//    payloads; mixed real/phantom chunks ship raw so real content (file
+//    system metadata, dump headers) always survives bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "blob/reducer.h"
+#include "blob/store.h"
+#include "reduce/digest_index.h"
+#include "reduce/reduction.h"
+
+namespace blobcr::reduce {
+
+class Reducer final : public blob::CommitReducer {
+ public:
+  /// Registers with the store so GC invalidates the index on reclaim.
+  Reducer(blob::BlobStore& store, const ReductionConfig& cfg);
+  ~Reducer() override;
+
+  Reducer(const Reducer&) = delete;
+  Reducer& operator=(const Reducer&) = delete;
+
+  // --- CommitReducer ---
+  sim::Task<blob::ReducedChunk> reduce(net::NodeId node, std::uint64_t offset,
+                                       common::Buffer payload) override;
+  void committed(std::uint64_t digest, const blob::ChunkLocation& loc) override;
+  void account_stored(std::uint32_t raw_size,
+                      std::uint32_t stored_size) override;
+  void account_aliased(std::uint32_t raw_size) override;
+  void release_refs(const std::vector<blob::ChunkId>& ids) override;
+
+  /// Opens a fresh stats epoch (one per coordinated global checkpoint; the
+  /// epoch leader rank calls this through mpi::coordinated_checkpoint), so
+  /// epoch_stats() covers exactly one global checkpoint.
+  void begin_epoch();
+
+  const ReductionConfig& config() const { return cfg_; }
+  const ReductionStats& stats() const { return stats_; }
+  /// Stats accumulated since the current epoch opened.
+  ReductionStats epoch_stats() const { return stats_ - epoch_base_; }
+  ChunkDigestIndex& index() { return index_; }
+
+ private:
+  blob::BlobStore* store_;
+  ReductionConfig cfg_;
+  ChunkDigestIndex index_;
+  ReductionStats stats_;
+  ReductionStats epoch_base_;
+  std::uint64_t hook_id_ = 0;
+  std::uint64_t pin_source_id_ = 0;
+  /// Chunks referenced by in-flight commits (dedup Refs taken but not yet
+  /// published), with a count per concurrent referencing commit. The GC
+  /// treats them as live.
+  std::unordered_map<blob::ChunkId, std::uint32_t> pinned_;
+};
+
+}  // namespace blobcr::reduce

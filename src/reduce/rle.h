@@ -1,0 +1,95 @@
+// Byte-level run-length codec used by the reduction pipeline's compression
+// stage. Token stream:
+//
+//   t < 0x80  => literal run: the next (t + 1) bytes are copied verbatim;
+//   t >= 0x80 => repeat run: the next byte repeats (t - 0x80 + kMinRun)
+//                times (kMinRun..kMaxRun).
+//
+// Worst case (no runs) the output is input + input/128 + 1 bytes, so the
+// pipeline only keeps an encoding that is strictly smaller than the raw
+// payload. Decoding is exact: encode/decode round-trips bit-identically,
+// which is what lets snapshot read-back verification stay end-to-end.
+//
+// Depends only on common/ so the blob read path can decode without pulling
+// in the rest of the reduction subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace blobcr::reduce {
+
+inline constexpr std::size_t kRleMinRun = 3;
+inline constexpr std::size_t kRleMaxRun = 0x7f + kRleMinRun;  // 130
+inline constexpr std::size_t kRleMaxLiteral = 0x80;           // 128
+
+class RleError : public std::runtime_error {
+ public:
+  explicit RleError(const char* what) : std::runtime_error(what) {}
+};
+
+inline std::vector<std::byte> rle_encode(std::span<const std::byte> in) {
+  std::vector<std::byte> out;
+  out.reserve(in.size() / 4 + 16);
+  std::size_t i = 0;
+  std::size_t literal_start = 0;
+
+  const auto flush_literals = [&](std::size_t end) {
+    std::size_t at = literal_start;
+    while (at < end) {
+      const std::size_t n = std::min(kRleMaxLiteral, end - at);
+      out.push_back(static_cast<std::byte>(n - 1));
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(at),
+                 in.begin() + static_cast<std::ptrdiff_t>(at + n));
+      at += n;
+    }
+  };
+
+  while (i < in.size()) {
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == in[i] && run < kRleMaxRun) {
+      ++run;
+    }
+    if (run >= kRleMinRun) {
+      flush_literals(i);
+      out.push_back(static_cast<std::byte>(0x80 + (run - kRleMinRun)));
+      out.push_back(in[i]);
+      i += run;
+      literal_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(in.size());
+  return out;
+}
+
+/// Decodes exactly `logical_size` bytes; throws RleError on any mismatch.
+inline std::vector<std::byte> rle_decode(std::span<const std::byte> in,
+                                         std::size_t logical_size) {
+  std::vector<std::byte> out;
+  out.reserve(logical_size);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const auto t = std::to_integer<std::uint8_t>(in[i++]);
+    if (t < 0x80) {
+      const std::size_t n = static_cast<std::size_t>(t) + 1;
+      if (i + n > in.size()) throw RleError("rle literal past end");
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+                 in.begin() + static_cast<std::ptrdiff_t>(i + n));
+      i += n;
+    } else {
+      if (i >= in.size()) throw RleError("rle run past end");
+      const std::size_t n = static_cast<std::size_t>(t - 0x80) + kRleMinRun;
+      out.insert(out.end(), n, in[i++]);
+    }
+    if (out.size() > logical_size) throw RleError("rle overflow");
+  }
+  if (out.size() != logical_size) throw RleError("rle size mismatch");
+  return out;
+}
+
+}  // namespace blobcr::reduce

@@ -9,6 +9,7 @@
 #include "blob/client.h"
 #include "core/mirror_device.h"
 #include "core/proxy.h"
+#include "reduce/reducer.h"
 #include "sim/sim.h"
 #include "vm/vm_instance.h"
 
@@ -268,6 +269,70 @@ TEST(MirrorTest, PrefetchBusPushesToPeers) {
   // m2 never read anything, yet the hinted range arrived ahead of demand.
   EXPECT_GE(m2->locally_available_bytes(), 4 * kChunk);
   EXPECT_GE(m2->remote_bytes_fetched(), 4 * kChunk);
+}
+
+TEST(MirrorTest, PrefetchBusAnnouncesOnlyUncoveredGaps) {
+  TestRig rig;
+  rig.make_base();
+  PrefetchBus bus(rig.sim, 200 * sim::kMicrosecond);
+  auto m1 = rig.make_mirror(rig.host_a, &bus);
+  auto m2 = rig.make_mirror(rig.host_b, &bus);
+  rig.run([](TestRig* r, MirrorDevice* a) -> Task<> {
+    // First demand fetch announces [0, 4) chunks.
+    (void)co_await a->read(0, 4 * kChunk);
+    co_await r->sim.delay(5 * sim::kSecond);
+    // Overlapping read [2, 6): only the uncovered tail [4, 6) may be
+    // announced — the overlap must not be re-broadcast.
+    (void)co_await a->read(2 * kChunk, 4 * kChunk);
+    co_await r->sim.delay(5 * sim::kSecond);
+  }(&rig, m1.get()));
+  EXPECT_EQ(bus.hinted_bytes(), 6 * kChunk);
+  // Fully-covered announcements stay suppressed entirely.
+  const std::uint64_t hints = bus.hints_sent();
+  rig.run([](TestRig* r, MirrorDevice* a) -> Task<> {
+    (void)co_await a->read(kChunk, 2 * kChunk);
+    co_await r->sim.delay(sim::kSecond);
+  }(&rig, m1.get()));
+  EXPECT_EQ(bus.hints_sent(), hints);
+  EXPECT_EQ(m2->remote_bytes_fetched(), 6 * kChunk);
+}
+
+TEST(MirrorTest, ReducedCommitShipsLessAndRoundTrips) {
+  TestRig rig;
+  rig.make_base();
+  reduce::ReductionConfig rcfg;
+  rcfg.enabled = true;
+  reduce::Reducer reducer(*rig.store, rcfg);
+  auto m1 = rig.make_mirror(rig.host_a);
+  MirrorDevice::Config mcfg;
+  mcfg.capacity = kImage;
+  MirrorDevice m2(*rig.store, rig.host_b, *rig.disks[5], 97, rig.base, 1,
+                  mcfg, nullptr, &reducer);
+
+  // Rank 1 (unreduced) establishes nothing in the index; rank 2 commits a
+  // mix of duplicate-able, zero and unique chunks through the reducer.
+  Buffer payload = Buffer::pattern(2 * kChunk, 50);  // duplicated below
+  payload.append(Buffer::zeros(2 * kChunk));
+  payload.append(Buffer::pattern(2 * kChunk, 50));   // dup of chunks 0-1
+  payload.append(Buffer::pattern(kChunk, 51));       // unique
+  blob::VersionId v = 0;
+  Buffer back;
+  rig.run([](TestRig* r, MirrorDevice* m, const Buffer* payload,
+             blob::VersionId& v_out, Buffer& back) -> Task<> {
+    co_await m->write(0, *payload);
+    v_out = co_await m->ioctl_commit();
+    // Read back through a fresh client straight from the repository.
+    blob::BlobClient client(*r->store, r->host_a);
+    back = co_await client.read(m->checkpoint_blob(), v_out, 0,
+                                payload->size());
+  }(&rig, &m2, &payload, v, back));
+  EXPECT_EQ(back, payload);
+  EXPECT_EQ(m2.last_commit_payload(), 7 * kChunk);
+  // Shipped: 2 unique pattern chunks + 1 unique chunk; zeros and the
+  // duplicate pair stayed home.
+  EXPECT_EQ(m2.last_commit_shipped(), 3 * kChunk);
+  EXPECT_EQ(reducer.stats().zero_chunks, 2u);
+  EXPECT_EQ(reducer.stats().dedup_hits, 2u);
 }
 
 TEST(MirrorTest, PrefetchedReadIsFasterThanCold) {
