@@ -167,6 +167,33 @@ sim::Task<VersionId> BlobClient::write_extents_via(
   std::vector<ChunkLocation> locs(pieces.size());
   std::uint64_t stored_payload = payload_bytes;
 
+  // Reduced-path commit state, function-scoped so the guard's destructor
+  // runs only after the version published (or on unwind): dedup Ref pins
+  // must outlive the metadata co_awaits below — otherwise a GC running
+  // during put_nodes/publish sees the Ref'd chunks neither pinned nor
+  // reachable and reclaims them under the about-to-publish version. On a
+  // failed commit the guard also withdraws the digests this commit pushed
+  // into the dedup index: no tree references those chunks, so leaving them
+  // indexed would offer dedup targets the GC can never reclaim.
+  std::vector<ReducedChunk> plans;
+  struct CommitGuard {
+    CommitReducer* red;
+    const std::vector<ReducedChunk>* plans;
+    std::vector<ChunkId> indexed;  // chunks this commit put in the index
+    bool published = false;
+    ~CommitGuard() {
+      if (red == nullptr) return;
+      std::vector<ChunkId> ids;
+      for (const ReducedChunk& p : *plans) {
+        if (p.kind == ReducedChunk::Kind::Ref && p.ref.id != 0) {
+          ids.push_back(p.ref.id);
+        }
+      }
+      if (!ids.empty()) red->release_refs(ids);
+      if (!published && !indexed.empty()) red->forget_indexed(indexed);
+    }
+  } guard{reducer, &plans};
+
   if (reducer == nullptr) {
     // Placement: one allocation round-trip for the whole commit.
     std::vector<std::uint32_t> sizes;
@@ -201,23 +228,7 @@ sim::Task<VersionId> BlobClient::write_extents_via(
     // Phase 1 (window-limited): pull each chunk through the reader and the
     // reduction pipeline. Surviving payloads stay in memory until phase 3,
     // so the local cache is read exactly once per chunk.
-    std::vector<ReducedChunk> plans(pieces.size());
-    // Every dedup Ref was pinned inside reduce() (the GC cannot see the
-    // reference until this version publishes); release the pins when this
-    // frame ends — after publish, or on any failure path.
-    struct RefPinGuard {
-      CommitReducer* red;
-      const std::vector<ReducedChunk>* plans;
-      ~RefPinGuard() {
-        std::vector<ChunkId> ids;
-        for (const ReducedChunk& p : *plans) {
-          if (p.kind == ReducedChunk::Kind::Ref && p.ref.id != 0) {
-            ids.push_back(p.ref.id);
-          }
-        }
-        if (!ids.empty()) red->release_refs(ids);
-      }
-    } pin_guard{reducer, &plans};
+    plans.resize(pieces.size());
     std::vector<sim::Task<>> reduces;
     reduces.reserve(pieces.size());
     for (std::size_t i = 0; i < pieces.size(); ++i) {
@@ -246,7 +257,13 @@ sim::Task<VersionId> BlobClient::write_extents_via(
       if (plans[i].index_on_commit) {
         const auto [it, fresh] =
             first_of_digest.try_emplace(plans[i].digest, i);
-        if (!fresh && pieces[it->second].length == pieces[i].length) {
+        // Both payloads are in memory here, so unlike the cross-commit
+        // index lookup the alias can be byte-verified: the pipeline is
+        // deterministic, so equal raw chunks yield equal (encoding,
+        // payload), and a digest collision falls through to a store.
+        if (!fresh && pieces[it->second].length == pieces[i].length &&
+            plans[it->second].encoding == plans[i].encoding &&
+            plans[it->second].payload == plans[i].payload) {
           alias[i] = it->second;
           reducer->account_aliased(pieces[i].length);
           continue;
@@ -291,14 +308,18 @@ sim::Task<VersionId> BlobClient::write_extents_via(
     for (const std::size_t i : store_idx) {
       stores.push_back(
           [](BlobClient* self, ReducedChunk* plan, const ChunkLocation& loc,
-             CommitReducer* red) -> sim::Task<> {
+             CommitReducer* red,
+             std::vector<ChunkId>* indexed) -> sim::Task<> {
             for (const net::NodeId replica : loc.replicas) {
               DataProvider* provider = self->store_->provider_at(replica);
               if (provider == nullptr) throw BlobError("no provider at node");
               co_await provider->store(self->node_, loc.id, plan->payload);
             }
-            if (plan->index_on_commit) red->committed(plan->digest, loc);
-          }(this, &plans[i], locs[i], reducer));
+            if (plan->index_on_commit) {
+              red->committed(plan->digest, loc);
+              indexed->push_back(loc.id);
+            }
+          }(this, &plans[i], locs[i], reducer, &guard.indexed));
     }
     co_await sim::run_window(store_->simulation(),
                              store_->config().write_window,
@@ -330,6 +351,7 @@ sim::Task<VersionId> BlobClient::write_extents_via(
   last_commit_stored_ = stored_payload;
   const VersionId v = co_await store_->version_manager().publish(
       node_, blob, new_root, new_size, chunk_bytes, meta_bytes);
+  guard.published = true;
   version_cache_[VersionKey{blob, v}] =
       VersionEntry{new_root, new_size, chunk_size};
   co_return v;

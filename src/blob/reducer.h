@@ -55,6 +55,12 @@ class CommitReducer {
   /// to the GC until the version publishes); the committing client releases
   /// all of a commit's pins once the commit has published or failed.
   virtual void release_refs(const std::vector<ChunkId>& ids) { (void)ids; }
+
+  /// A failed commit withdraws the chunks it had announced via committed():
+  /// its version never published, so no tree references them, and leaving
+  /// them indexed would hand out dedup Refs to orphans the GC can never
+  /// reclaim.
+  virtual void forget_indexed(const std::vector<ChunkId>& ids) { (void)ids; }
 };
 
 }  // namespace blobcr::blob

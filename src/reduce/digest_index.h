@@ -10,8 +10,19 @@
 // The garbage collector invalidates entries whose chunks it reclaims through
 // BlobStore's reclaim hooks; a stale hit after GC would silently resurrect a
 // deleted chunk.
+//
+// Collision caveat: a cross-commit hit is trusted on (64-bit FNV-1a digest,
+// raw length) equality alone — the indexed payload lives on remote
+// providers, so byte verification would cost the very transfer dedup
+// exists to avoid. FNV-1a is not collision-resistant; a colliding pair of
+// same-length chunks would silently alias, corrupting one on read-back.
+// That is accepted for this simulator (synthetic checkpoint content); a
+// production store would key on a cryptographic digest. Intra-commit
+// aliases, where both payloads are in memory, ARE byte-verified by
+// BlobClient before collapsing.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -40,24 +51,37 @@ class ChunkDigestIndex {
   const blob::ChunkLocation* lookup(std::uint64_t digest,
                                     std::uint32_t raw_size) const {
     const auto it = entries_.find(Key{digest, raw_size});
-    return it == entries_.end() ? nullptr : &it->second;
+    return it == entries_.end() ? nullptr : &it->second.front();
   }
 
-  /// Records a stored chunk. First writer wins: concurrent ranks may store
-  /// the same content twice; later lookups keep returning one location.
+  /// Records a stored chunk. Lookups serve the first recorded location, but
+  /// later same-content chunks (concurrent ranks can store the same content
+  /// twice) are kept as fallbacks: forgetting one copy — a failed commit
+  /// withdrawing its orphans, or the GC reclaiming — must not de-index
+  /// content that still lives at another chunk.
   void record(std::uint64_t digest, std::uint32_t raw_size,
               const blob::ChunkLocation& loc) {
     const Key key{digest, raw_size};
-    const auto [it, fresh] = entries_.try_emplace(key, loc);
-    if (fresh) by_chunk_.emplace(loc.id, key);
+    if (!by_chunk_.try_emplace(loc.id, key).second) return;  // known chunk
+    entries_[key].push_back(loc);
   }
 
-  /// GC invalidation: drops every entry whose chunk was reclaimed.
+  /// Invalidation (GC reclaim, failed-commit withdrawal): drops every
+  /// location whose chunk is gone; remaining same-content fallbacks keep
+  /// serving lookups.
   void forget_chunks(const std::vector<blob::ChunkId>& ids) {
     for (const blob::ChunkId id : ids) {
       const auto it = by_chunk_.find(id);
       if (it == by_chunk_.end()) continue;
-      entries_.erase(it->second);
+      const auto e = entries_.find(it->second);
+      if (e != entries_.end()) {
+        auto& locs = e->second;
+        locs.erase(std::remove_if(
+                       locs.begin(), locs.end(),
+                       [id](const blob::ChunkLocation& l) { return l.id == id; }),
+                   locs.end());
+        if (locs.empty()) entries_.erase(e);
+      }
       by_chunk_.erase(it);
     }
   }
@@ -65,7 +89,7 @@ class ChunkDigestIndex {
   std::size_t size() const { return entries_.size(); }
 
  private:
-  std::unordered_map<Key, blob::ChunkLocation, KeyHash> entries_;
+  std::unordered_map<Key, std::vector<blob::ChunkLocation>, KeyHash> entries_;
   std::unordered_map<blob::ChunkId, Key> by_chunk_;
 };
 

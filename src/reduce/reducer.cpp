@@ -131,4 +131,10 @@ void Reducer::release_refs(const std::vector<blob::ChunkId>& ids) {
   }
 }
 
+void Reducer::forget_indexed(const std::vector<blob::ChunkId>& ids) {
+  // forget_chunks only drops the withdrawn chunks' own locations; identical
+  // content another commit stored stays indexed (fallback entries).
+  index_.forget_chunks(ids);
+}
+
 }  // namespace blobcr::reduce

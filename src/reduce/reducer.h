@@ -42,6 +42,7 @@ class Reducer final : public blob::CommitReducer {
                       std::uint32_t stored_size) override;
   void account_aliased(std::uint32_t raw_size) override;
   void release_refs(const std::vector<blob::ChunkId>& ids) override;
+  void forget_indexed(const std::vector<blob::ChunkId>& ids) override;
 
   /// Opens a fresh stats epoch (one per coordinated global checkpoint; the
   /// epoch leader rank calls this through mpi::coordinated_checkpoint), so

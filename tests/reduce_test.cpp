@@ -304,6 +304,96 @@ TEST(ReduceTest, InFlightDedupRefPinsChunkAgainstGc) {
   EXPECT_TRUE(read_ok);
 }
 
+TEST(ReduceTest, PinsHeldThroughMetadataPublish) {
+  // A commit made entirely of dedup Refs does all its payload work in the
+  // reduce phase; after that, only the metadata co_awaits (put_nodes,
+  // publish) remain. The Ref pins must span those suspensions too: a GC
+  // running there sees the chunks in no published tree, so without the pins
+  // it would reclaim them under the about-to-publish version. digest_bps
+  // stretches the reduce phase so the GC lands deterministically in the
+  // metadata window.
+  TestCluster tc;
+  ReductionConfig cfg = all_on();
+  cfg.digest_bps = 1e6;  // ~1 ms per chunk digest
+  Reducer red(*tc.store, cfg);
+  const Buffer shared = Buffer::pattern(2 * kChunk, 41);
+  const Buffer other = Buffer::pattern(2 * kChunk, 42);
+  bool read_ok = false;
+  tc.run([](TestCluster* tc, Reducer* red, const Buffer* shared,
+            const Buffer* other, bool* read_ok) -> Task<> {
+    BlobClient a(*tc->store, tc->client_node);
+    const BlobId blob_a = co_await a.create();
+    (void)co_await write_reduced(a, *red, blob_a, 0, *shared);  // indexes
+    (void)co_await write_reduced(a, *red, blob_a, 0, *other);   // obsoletes v1
+
+    BlobClient b(*tc->store, tc->client_node);
+    const BlobId blob_b = co_await b.create();
+    auto commit = tc->sim.spawn(
+        "commit", [](BlobClient* b, Reducer* red, BlobId blob,
+                     const Buffer* data) -> Task<> {
+          (void)co_await write_reduced(*b, *red, blob, 0, *data);
+        }(&b, red, blob_b, shared));
+    // ~1.35 ms: reduce phase (resolve + digests) done, every chunk a Ref,
+    // nothing stores; ~1.9 ms: publish completes. Land in between.
+    co_await tc->sim.delay(1600 * sim::kMicrosecond);
+    EXPECT_FALSE(commit->finished());
+    GarbageCollector gc(*tc->store);
+    const GarbageCollector::Result r = gc.collect(blob_a, 2);
+    EXPECT_EQ(r.chunks_deleted, 0u);
+    EXPECT_EQ(r.chunks_kept_shared, 2u);
+
+    co_await commit->join();
+    const Buffer back = co_await b.read(blob_b, 1, 0, shared->size());
+    *read_ok = (back == *shared);
+  }(&tc, &red, &shared, &other, &read_ok));
+  EXPECT_TRUE(read_ok);
+  EXPECT_EQ(red.stats().dedup_hits, 2u);
+}
+
+TEST(ReduceTest, FailedCommitWithdrawsIndexedDigests) {
+  // Two large chunks land on the two providers; one provider fails while
+  // both transfers are in flight. The surviving chunk stores, enters the
+  // dedup index via committed(), and then the commit as a whole throws —
+  // its version never publishes, so the orphan chunk must leave the index
+  // again (a dedup Ref onto it could never be reclaimed by the GC).
+  TestCluster tc(/*n_data=*/2, /*replication=*/1);
+  Reducer red(*tc.store, all_on());
+  constexpr std::uint64_t kBig = 1 << 20;
+  const Buffer data = Buffer::pattern(2 * kBig, 51);
+  bool threw = false;
+  bool rewrite_ok = false;
+  tc.run([](TestCluster* tc, Reducer* red, const Buffer* data, bool* threw,
+            bool* rewrite_ok) -> Task<> {
+    BlobClient a(*tc->store, tc->client_node);
+    const BlobId blob_a = co_await a.create(kBig);
+    auto commit = tc->sim.spawn(
+        "commit", [](BlobClient* a, Reducer* red, BlobId blob,
+                     const Buffer* data) -> Task<> {
+          (void)co_await write_reduced(*a, *red, blob, 0, *data);
+        }(&a, red, blob_a, data));
+    // ~0.55 ms: placement done (both providers picked); ~2.7 ms: transfers
+    // complete. Failing in between makes exactly one store throw while the
+    // other runs to completion and indexes its chunk.
+    co_await tc->sim.delay(sim::kMillisecond);
+    tc->store->fail_node(tc->store->config().data_providers[1].node);
+    co_await commit->join();
+    *threw = (commit->error() != nullptr);
+    EXPECT_EQ(red->index().size(), 0u);  // orphan withdrawn
+
+    // The same content re-commits cleanly (placement avoids the dead
+    // provider), misses the index, and reads back bit-identical.
+    const std::uint64_t hits_before = red->stats().dedup_hits;
+    BlobClient b(*tc->store, tc->client_node);
+    const BlobId blob_b = co_await b.create(kBig);
+    const VersionId v = co_await write_reduced(b, *red, blob_b, 0, *data);
+    EXPECT_EQ(red->stats().dedup_hits, hits_before);
+    const Buffer back = co_await b.read(blob_b, v, 0, data->size());
+    *rewrite_ok = (back == *data);
+  }(&tc, &red, &data, &threw, &rewrite_ok));
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(rewrite_ok);
+}
+
 TEST(ReduceTest, RleCompressionRoundTrip) {
   TestCluster tc;
   ReductionConfig cfg;
@@ -367,6 +457,31 @@ TEST(ReduceTest, PhantomRatioCompression) {
   // Round trip preserves the logical payload identity.
   EXPECT_EQ(back_size, 4 * kChunk);
   EXPECT_EQ(back_digest, data.digest());
+}
+
+TEST(ReduceTest, DigestIndexKeepsFallbackLocations) {
+  // Concurrent commits can store identical content twice; withdrawing one
+  // copy (failed commit, GC reclaim) must keep the content indexed via the
+  // other, and withdrawing both must empty the entry.
+  ChunkDigestIndex idx;
+  blob::ChunkLocation a;
+  a.id = 10;
+  a.size = 64;
+  blob::ChunkLocation b = a;
+  b.id = 11;
+  idx.record(7, 64, a);
+  idx.record(7, 64, b);
+  EXPECT_EQ(idx.size(), 1u);
+  ASSERT_NE(idx.lookup(7, 64), nullptr);
+  EXPECT_EQ(idx.lookup(7, 64)->id, 10u);
+
+  idx.forget_chunks({10});
+  ASSERT_NE(idx.lookup(7, 64), nullptr);
+  EXPECT_EQ(idx.lookup(7, 64)->id, 11u);
+
+  idx.forget_chunks({11});
+  EXPECT_EQ(idx.lookup(7, 64), nullptr);
+  EXPECT_EQ(idx.size(), 0u);
 }
 
 TEST(ReduceTest, RleCodecProperty) {
