@@ -1,5 +1,6 @@
 #include "apps/scenarios.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <memory>
@@ -124,8 +125,18 @@ Task<> synthetic_driver(Cloud* cloud, SyntheticRun run, CkptMode mode,
       (void)co_await dep.checkpoint_all();
     }
     co_await end_bar.arrive_and_wait();
+    // Async pipeline: the round completes when every staged snapshot has
+    // published, not merely staged.
+    for (std::size_t i = 0; i < run.instances; ++i) {
+      co_await dep.wait_drained(i);
+    }
     result->checkpoint_times.push_back(sim.now() - t0);
     const GlobalCheckpoint last = dep.collect_last_snapshots();
+    sim::Duration blocked = 0;
+    for (const core::InstanceSnapshot& s : last.snapshots) {
+      blocked = std::max(blocked, s.vm_downtime);
+    }
+    result->checkpoint_blocked_times.push_back(blocked);
     result->snapshot_bytes_per_vm.push_back(last.total_bytes() /
                                             run.instances);
     result->repo_growth.push_back(cloud->repository_bytes() - repo_baseline);
@@ -217,6 +228,11 @@ Task<> cm1_rank_body(Deployment* dep, Cm1Run run, Cm1Config cfg,
   hooks.request_disk_snapshot = [dep, vm_index]() -> Task<> {
     (void)co_await dep->snapshot_instance(vm_index);
   };
+  if (dep->flush_enabled()) {
+    hooks.wait_drained = [dep, vm_index]() -> Task<> {
+      co_await dep->wait_drained(vm_index);
+    };
+  }
   co_await mpi::coordinated_checkpoint(dep->mpi().comm(rank), hooks);
   co_await end_bar->arrive_and_wait();
 }
@@ -283,6 +299,11 @@ Task<> cm1_driver(Cloud* cloud, Cm1Run run, CkptMode mode,
   co_await end_bar.arrive_and_wait();
   result->checkpoint_times.push_back(sim.now() - t0);
   const GlobalCheckpoint snaps = dep.collect_last_snapshots();
+  sim::Duration blocked = 0;
+  for (const core::InstanceSnapshot& s : snaps.snapshots) {
+    blocked = std::max(blocked, s.vm_downtime);
+  }
+  result->checkpoint_blocked_times.push_back(blocked);
   result->snapshot_bytes_per_vm.push_back(snaps.total_bytes() / run.vms);
   result->repo_growth.push_back(cloud->repository_bytes() - repo_baseline);
   for (std::size_t i = 0; i < run.vms; ++i) co_await dep.vm(i).join_guests();

@@ -47,7 +47,12 @@ struct Cm1Run {
 struct RunResult {
   sim::Duration deploy_time = 0;
   /// Global checkpoint completion time per round (Fig 2 / Fig 5a / Fig 6).
+  /// With the async commit pipeline this is end-to-end *publish* time.
   std::vector<sim::Duration> checkpoint_times;
+  /// Longest VM pause per round: the app-blocked share of a checkpoint
+  /// (synchronous commits block for the whole transfer; the async pipeline
+  /// blocks only for the local staging capture).
+  std::vector<sim::Duration> checkpoint_blocked_times;
   /// Average per-VM snapshot size per round (Fig 4 / Table 1).
   std::vector<std::uint64_t> snapshot_bytes_per_vm;
   /// Cumulative checkpoint bytes in the repository per round (Fig 5b).

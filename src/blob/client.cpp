@@ -52,6 +52,22 @@ const ChunkLocation* find_write(
 
 }  // namespace
 
+const char* commit_stage_name(CommitStage s) {
+  switch (s) {
+    case CommitStage::Staged:
+      return "staged";
+    case CommitStage::Reducing:
+      return "reducing";
+    case CommitStage::Putting:
+      return "putting";
+    case CommitStage::PrePublish:
+      return "pre-publish";
+    case CommitStage::PostPublish:
+      return "post-publish";
+  }
+  return "?";
+}
+
 sim::Task<BlobId> BlobClient::create(std::uint64_t chunk_size) {
   if (chunk_size == 0) chunk_size = store_->config().default_chunk_size;
   const BlobId id =
@@ -88,6 +104,8 @@ sim::Task<BlobClient::VersionEntry> BlobClient::resolve(BlobId blob,
     co_return entry;
   }
   const VersionInfo& info = meta.version(version);
+  if (info.pending)
+    throw BlobError("version not yet published (drain in flight or dead)");
   if (info.root == 0 && info.size != 0)
     throw BlobError("version has been garbage-collected");
   entry.root = info.root;
@@ -129,6 +147,16 @@ sim::Task<VersionId> BlobClient::write_extents(BlobId blob,
 sim::Task<VersionId> BlobClient::write_extents_via(
     BlobId blob, std::vector<ExtentSpec> extents, ExtentReader* reader,
     CommitReducer* reducer) {
+  CommitOptions opts;
+  opts.reducer = reducer;
+  co_return co_await write_extents_via(blob, std::move(extents), reader,
+                                       std::move(opts));
+}
+
+sim::Task<VersionId> BlobClient::write_extents_via(
+    BlobId blob, std::vector<ExtentSpec> extents, ExtentReader* reader,
+    CommitOptions opts) {
+  CommitReducer* reducer = opts.reducer;
   VersionId latest = 0;
   const VersionEntry base = co_await resolve(blob, latest);
   const std::uint64_t chunk_size = base.chunk_size;
@@ -194,6 +222,8 @@ sim::Task<VersionId> BlobClient::write_extents_via(
     }
   } guard{reducer, &plans};
 
+  if (opts.probe != nullptr) co_await (*opts.probe)(CommitStage::Reducing);
+
   if (reducer == nullptr) {
     // Placement: one allocation round-trip for the whole commit.
     std::vector<std::uint32_t> sizes;
@@ -201,6 +231,8 @@ sim::Task<VersionId> BlobClient::write_extents_via(
     for (const Piece& p : pieces) sizes.push_back(p.length);
     locs = co_await store_->provider_manager().allocate(
         node_, sizes, replication, store_->chunk_id_counter());
+
+    if (opts.probe != nullptr) co_await (*opts.probe)(CommitStage::Putting);
 
     // Pipelined stores: each window slot pulls a chunk through the reader
     // (e.g. local disk) and ships it to all replicas. The reader outlives
@@ -300,6 +332,8 @@ sim::Task<VersionId> BlobClient::write_extents_via(
       }
     }
 
+    if (opts.probe != nullptr) co_await (*opts.probe)(CommitStage::Putting);
+
     // Phase 3: window-limited stores of the surviving chunks. Each chunk
     // enters the dedup index the moment every replica holds it, so other
     // ranks of the same global checkpoint can already dedup against it.
@@ -349,11 +383,14 @@ sim::Task<VersionId> BlobClient::write_extents_via(
   bytes_written_ += payload_bytes;
   last_commit_raw_ = payload_bytes;
   last_commit_stored_ = stored_payload;
+  if (opts.probe != nullptr) co_await (*opts.probe)(CommitStage::PrePublish);
   const VersionId v = co_await store_->version_manager().publish(
-      node_, blob, new_root, new_size, chunk_bytes, meta_bytes);
+      node_, blob, new_root, new_size, chunk_bytes, meta_bytes,
+      opts.reserved_version);
   guard.published = true;
   version_cache_[VersionKey{blob, v}] =
       VersionEntry{new_root, new_size, chunk_size};
+  if (opts.probe != nullptr) co_await (*opts.probe)(CommitStage::PostPublish);
   co_return v;
 }
 

@@ -24,6 +24,29 @@
 
 namespace blobcr::blob {
 
+/// Commit pipeline stage boundaries, in order. Staged is fired by the
+/// asynchronous flush agent once a commit's payload is frozen locally; the
+/// client fires the rest as the commit moves reduce -> store -> publish.
+enum class CommitStage { Staged, Reducing, Putting, PrePublish, PostPublish };
+
+const char* commit_stage_name(CommitStage s);
+
+/// Awaited at each stage boundary when installed. Crash-consistency tests
+/// suspend inside the probe, so a fail-stop kill lands exactly on the
+/// boundary under test.
+using CommitProbe = std::function<sim::Task<>(CommitStage)>;
+
+/// Extended knobs for write_extents_via (the plain overload covers the
+/// common synchronous cases).
+struct CommitOptions {
+  CommitReducer* reducer = nullptr;
+  /// Non-zero: publish into this reserved version slot (asynchronous drains
+  /// reserve at stage time so snapshot numbering reflects capture order).
+  VersionId reserved_version = 0;
+  /// Stage-boundary hook; must outlive the commit. nullptr = no probing.
+  CommitProbe* probe = nullptr;
+};
+
 class BlobClient {
  public:
   BlobClient(BlobStore& store, net::NodeId node)
@@ -68,6 +91,14 @@ class BlobClient {
                                          std::vector<ExtentSpec> extents,
                                          ExtentReader* reader,
                                          CommitReducer* reducer = nullptr);
+
+  /// Full-control COMMIT: reduction, a reserved (provisional) version slot
+  /// and stage-boundary probes. The asynchronous drain path of
+  /// flush::FlushAgent commits through this overload.
+  sim::Task<VersionId> write_extents_via(BlobId blob,
+                                         std::vector<ExtentSpec> extents,
+                                         ExtentReader* reader,
+                                         CommitOptions opts);
 
   /// Reads [offset, offset+len) of a version. Unwritten holes read as zeros.
   sim::Task<common::Buffer> read(BlobId blob, VersionId version,

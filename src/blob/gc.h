@@ -36,7 +36,12 @@ class GarbageCollector {
 
     for (const auto& [id, meta] : store_->version_manager().all()) {
       for (const VersionInfo& v : meta.versions) {
-        if (v.root == 0) continue;  // already tombstoned
+        // root == 0 covers tombstones and pending (async-reserved) slots:
+        // an in-flight drain's version has no tree yet; its chunk
+        // references are protected below by the reducer's pins, and its
+        // freshly-stored chunks are reachable from no dropped version, so
+        // the sweep can never touch them.
+        if (v.pending || v.root == 0) continue;
         const bool is_dropped = (id == blob && v.id < keep_from);
         if (is_dropped) continue;
         mark_live(v.root, live, visited);
@@ -49,7 +54,7 @@ class GarbageCollector {
     visited.clear();
     const BlobMeta& target = store_->version_manager().peek(blob);
     for (const VersionInfo& v : target.versions) {
-      if (v.root == 0 || v.id >= keep_from) continue;
+      if (v.pending || v.root == 0 || v.id >= keep_from) continue;
       collect_chunks(v.root, dropped, visited);
     }
 

@@ -1,0 +1,77 @@
+// SpooledCommitReader: the local-disk read policy shared by the synchronous
+// COMMIT path (MirrorDevice) and the asynchronous drain (FlushAgent).
+//
+// Chunks are pulled inside the store's window-limited pipeline, but the
+// FUSE-style mirroring module scans its modification log sequentially — so
+// reads are spooled with 4 MiB readahead to keep the local disk near
+// streaming rate instead of seeking per 256 KiB chunk. The spool reserves
+// a range before awaiting the disk, so concurrent window slots never issue
+// overlapping reads; their data is already streaming.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "blob/client.h"
+#include "common/buffer.h"
+#include "common/rangeset.h"
+#include "sim/task.h"
+#include "storage/disk.h"
+
+namespace blobcr::blob {
+
+class SpooledCommitReader {
+ public:
+  /// Serves the actual payload bytes once the disk time is charged (e.g.
+  /// a slice of the mirroring module's cache or of a frozen staging
+  /// generation). Synchronous: data structures only, no simulated cost.
+  using ContentFn =
+      std::function<common::Buffer(std::uint64_t offset, std::uint64_t len)>;
+
+  /// `ranges` are the commit's chunk-rounded extents; both `ranges` and the
+  /// reader itself must outlive the write_extents_via call.
+  SpooledCommitReader(storage::Disk& disk, std::uint64_t stream,
+                      const common::RangeSet* ranges, ContentFn content)
+      : disk_(&disk),
+        stream_(stream),
+        ranges_(ranges),
+        content_(std::move(content)),
+        reader_([this](std::uint64_t offset, std::uint64_t length) {
+          return read(offset, length);
+        }) {}
+
+  SpooledCommitReader(const SpooledCommitReader&) = delete;
+  SpooledCommitReader& operator=(const SpooledCommitReader&) = delete;
+
+  BlobClient::ExtentReader* reader() { return &reader_; }
+
+ private:
+  static constexpr std::uint64_t kReadahead = 4 * 1024 * 1024;
+
+  sim::Task<common::Buffer> read(std::uint64_t offset, std::uint64_t length) {
+    if (!done_.contains(offset, offset + length)) {
+      // Spool forward within the commit range containing this chunk.
+      std::uint64_t spool_end = offset + length;
+      for (const common::Range& full : ranges_->to_vector()) {
+        if (full.begin <= offset && offset < full.end) {
+          spool_end =
+              std::max(spool_end, std::min(full.end, offset + kReadahead));
+          break;
+        }
+      }
+      done_.insert(offset, spool_end);
+      co_await disk_->read(stream_, offset, spool_end - offset);
+    }
+    co_return content_(offset, length);
+  }
+
+  storage::Disk* disk_;
+  std::uint64_t stream_;
+  const common::RangeSet* ranges_;
+  ContentFn content_;
+  common::RangeSet done_;
+  BlobClient::ExtentReader reader_;
+};
+
+}  // namespace blobcr::blob

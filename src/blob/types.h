@@ -73,6 +73,10 @@ struct VersionInfo {
   std::uint64_t new_chunk_bytes = 0; // chunk payload added by this version
   std::uint64_t new_meta_bytes = 0;  // metadata added by this version
   sim::Time created = 0;
+  /// Reserved by an asynchronous commit whose drain has not published yet.
+  /// Invisible to readers; a drain that dies leaves the slot pending
+  /// forever (a tombstone), never a torn snapshot.
+  bool pending = false;
 };
 
 struct BlobMeta {
@@ -87,8 +91,13 @@ struct BlobMeta {
       throw BlobError("unknown version " + std::to_string(v));
     return versions[v - 1];
   }
+  /// Latest *published* version (pending reservations are skipped — they
+  /// are not yet readable snapshots).
   VersionId latest() const {
-    return static_cast<VersionId>(versions.size());
+    for (std::size_t i = versions.size(); i > 0; --i) {
+      if (!versions[i - 1].pending) return static_cast<VersionId>(i);
+    }
+    return 0;
   }
 };
 

@@ -38,6 +38,7 @@ class VersionManager {
     co_await round_trip(client);
     const BlobMeta& source = lookup(src);
     const VersionInfo& sv = source.version(v);
+    if (sv.pending) throw BlobError("cannot clone a version not yet published");
     const BlobId id = next_blob_id_++;
     BlobMeta meta;
     meta.id = id;
@@ -54,12 +55,44 @@ class VersionManager {
     co_return id;
   }
 
-  /// Publishes a new version (shadowed snapshot). Serialized per store.
-  sim::Task<VersionId> publish(net::NodeId client, BlobId blob, NodeRef root,
-                               std::uint64_t size, std::uint64_t new_chunk_bytes,
-                               std::uint64_t new_meta_bytes) {
+  /// Reserves the next version slot of `blob` for a deferred (asynchronous)
+  /// publish. The slot is recorded as pending — invisible to readers and to
+  /// latest() — until publish() fills it, so snapshot numbering stays dense
+  /// and reflects stage order even when drains complete later.
+  sim::Task<VersionId> reserve(net::NodeId client, BlobId blob) {
     co_await round_trip(client);
     BlobMeta& meta = lookup(blob);
+    VersionInfo v;
+    v.id = static_cast<VersionId>(meta.versions.size() + 1);
+    v.pending = true;
+    v.created = sim_->now();
+    meta.versions.push_back(v);
+    co_return v.id;
+  }
+
+  /// Publishes a new version (shadowed snapshot). Serialized per store.
+  /// With `reserved` non-zero the version fills that pending slot (taken
+  /// via reserve()) instead of appending a new one.
+  sim::Task<VersionId> publish(net::NodeId client, BlobId blob, NodeRef root,
+                               std::uint64_t size, std::uint64_t new_chunk_bytes,
+                               std::uint64_t new_meta_bytes,
+                               VersionId reserved = 0) {
+    co_await round_trip(client);
+    BlobMeta& meta = lookup(blob);
+    if (reserved != 0) {
+      if (reserved > meta.versions.size())
+        throw BlobError("publish into unknown reserved version");
+      VersionInfo& slot = meta.versions[reserved - 1];
+      if (!slot.pending)
+        throw BlobError("publish into a non-pending version slot");
+      slot.root = root;
+      slot.size = size;
+      slot.new_chunk_bytes = new_chunk_bytes;
+      slot.new_meta_bytes = new_meta_bytes;
+      slot.created = sim_->now();
+      slot.pending = false;
+      co_return reserved;
+    }
     VersionInfo v;
     v.id = static_cast<VersionId>(meta.versions.size() + 1);
     v.root = root;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/strutil.h"
+#include "flush/flush_agent.h"
 #include "img/mem_device.h"
 #include "reduce/reducer.h"
 #include "sim/when_all.h"
@@ -192,6 +193,7 @@ void Deployment::build_instance_fresh(std::size_t i, net::NodeId node) {
   if (cfg.backend == Backend::BlobCR) {
     MirrorDevice::Config mcfg;
     mcfg.capacity = cloud.image_size();
+    mcfg.flush = cfg.flush;
     inst->mirror = std::make_unique<MirrorDevice>(
         *cloud.blob_store(), node, cloud.disk(node),
         cloud.next_disk_stream(node), cloud.base_blob(), 1, mcfg,
@@ -261,12 +263,14 @@ sim::Task<InstanceSnapshot> Deployment::snapshot_instance(std::size_t i) {
     snap.image = r.image;
     snap.version = r.version;
     snap.vm_downtime = r.vm_downtime;
-    // Snapshot size: incremental chunk payload + new metadata.
+    // Snapshot size: incremental chunk payload + new metadata. A
+    // provisional (async) version doesn't know its size yet — the record
+    // fills in when the drain publishes.
     const blob::BlobMeta& meta =
         cloud_->blob_store()->version_manager().peek(r.image);
     if (r.version != 0) {
       const blob::VersionInfo& v = meta.version(r.version);
-      snap.bytes = v.new_chunk_bytes + v.new_meta_bytes;
+      if (!v.pending) snap.bytes = v.new_chunk_bytes + v.new_meta_bytes;
     }
   } else if (cfg.backend == Backend::Qcow2Disk) {
     const std::string path = common::strf(
@@ -315,7 +319,22 @@ sim::Task<GlobalCheckpoint> Deployment::checkpoint_all() {
 GlobalCheckpoint Deployment::collect_last_snapshots() const {
   GlobalCheckpoint ckpt;
   for (const auto& inst : instances_) {
-    ckpt.snapshots.push_back(inst->last_snapshot);
+    InstanceSnapshot snap = inst->last_snapshot;
+    // An async snapshot recorded while still provisional has bytes == 0;
+    // once the drain published, the version record knows the size — refresh
+    // so Fig4/Table1-style accounting sees drained snapshots.
+    if (snap.backend == Backend::BlobCR && snap.image != 0 &&
+        snap.version != 0 && snap.bytes == 0 &&
+        cloud_->blob_store() != nullptr &&
+        cloud_->blob_store()->version_manager().exists(snap.image)) {
+      const blob::BlobMeta& meta =
+          cloud_->blob_store()->version_manager().peek(snap.image);
+      if (snap.version <= meta.versions.size()) {
+        const blob::VersionInfo& v = meta.version(snap.version);
+        if (!v.pending) snap.bytes = v.new_chunk_bytes + v.new_meta_bytes;
+      }
+    }
+    ckpt.snapshots.push_back(std::move(snap));
   }
   return ckpt;
 }
@@ -330,7 +349,23 @@ void Deployment::fail_instance(std::size_t i) {
   Instance& inst = *instances_.at(i);
   inst.failed = true;
   if (inst.vm) inst.vm->destroy();
+  // Fail-stop takes the node's drain agent down with it: an in-flight
+  // drain dies mid-stage (its pins and index entries are withdrawn as the
+  // frame unwinds) and staged generations are lost.
+  if (inst.mirror && inst.mirror->flush_agent() != nullptr) {
+    inst.mirror->flush_agent()->fail_stop();
+  }
   cloud_->fail_node(inst.node);
+}
+
+bool Deployment::flush_enabled() const {
+  return cloud_->config().backend == Backend::BlobCR &&
+         cloud_->config().flush.enabled;
+}
+
+sim::Task<> Deployment::wait_drained(std::size_t i) {
+  Instance& inst = *instances_.at(i);
+  if (inst.mirror) co_await inst.mirror->wait_drained();
 }
 
 sim::Task<> Deployment::build_instance_from_snapshot(std::size_t i,
@@ -347,6 +382,7 @@ sim::Task<> Deployment::build_instance_from_snapshot(std::size_t i,
   if (cfg.backend == Backend::BlobCR) {
     MirrorDevice::Config mcfg;
     mcfg.capacity = cloud.image_size();
+    mcfg.flush = cfg.flush;
     inst->mirror = std::make_unique<MirrorDevice>(
         *cloud.blob_store(), node, cloud.disk(node),
         cloud.next_disk_stream(node), snap.image, snap.version, mcfg,

@@ -17,6 +17,7 @@
 #include "blob/store.h"
 #include "common/sparse.h"
 #include "core/mirror_device.h"
+#include "flush/flush.h"
 #include "core/proxy.h"
 #include "core/qcow_proxy.h"
 #include "img/qcow.h"
@@ -58,6 +59,9 @@ struct CloudConfig {
   /// Snapshot data-reduction pipeline on the commit path (BlobCR backend
   /// only). Off by default; see src/reduce/reduction.h for the knobs.
   reduce::ReductionConfig reduction;
+  /// Asynchronous commit pipeline (BlobCR backend only). Off by default;
+  /// see src/flush/flush.h for the knobs and failure semantics.
+  flush::FlushConfig flush;
   bool adaptive_prefetch = true;
   sim::Duration hint_latency = 300 * sim::kMicrosecond;
   sim::Duration proxy_auth_cost = 500 * sim::kMicrosecond;
@@ -189,6 +193,13 @@ class Deployment {
   /// the backend is not BlobCR). Shared by all mirroring modules, like the
   /// prefetch bus, so dedup works across ranks and snapshot versions.
   reduce::Reducer* reducer() { return reducer_.get(); }
+
+  /// True when the asynchronous commit pipeline runs on this deployment's
+  /// mirroring modules (BlobCR backend with CloudConfig::flush enabled).
+  bool flush_enabled() const;
+  /// Waits until instance i's staged snapshots have all published;
+  /// rethrows a drain failure. No-op for synchronous commits / baselines.
+  sim::Task<> wait_drained(std::size_t i);
 
   /// Creates devices and VMs from the base image and boots all instances in
   /// parallel.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "blob/spool.h"
+#include "flush/flush_agent.h"
+
 namespace blobcr::core {
 
 MirrorDevice::MirrorDevice(blob::BlobStore& store, net::NodeId host,
@@ -26,6 +29,10 @@ MirrorDevice::MirrorDevice(blob::BlobStore& store, net::NodeId host,
   prefetch_slots_ = std::make_unique<sim::Semaphore>(
       store.simulation(), static_cast<std::int64_t>(cfg_.prefetch_streams));
   if (bus_ != nullptr) bus_->attach(this);
+  if (cfg_.flush.enabled) {
+    flush_agent_ = std::make_unique<flush::FlushAgent>(
+        store, client_, local_disk, disk_stream, reducer_, cfg_.flush);
+  }
 }
 
 MirrorDevice::~MirrorDevice() {
@@ -37,6 +44,15 @@ MirrorDevice::~MirrorDevice() {
 
 std::uint64_t MirrorDevice::chunk_size() const {
   return store_->config().default_chunk_size;
+}
+
+std::uint64_t MirrorDevice::last_commit_shipped() const {
+  if (flush_agent_ != nullptr) return flush_agent_->last_drain_stored_bytes();
+  return last_commit_shipped_;
+}
+
+sim::Task<> MirrorDevice::wait_drained() {
+  if (flush_agent_ != nullptr) co_await flush_agent_->wait_drained();
 }
 
 sim::Task<> MirrorDevice::ensure_available(std::uint64_t begin,
@@ -144,49 +160,50 @@ sim::Task<blob::VersionId> MirrorDevice::ioctl_commit() {
   }
 
   // Copy-up whatever part of the rounded ranges is not locally present.
-  std::vector<blob::BlobClient::ExtentSpec> specs;
   std::uint64_t payload = 0;
   for (const common::Range& r : rounded.to_vector()) {
     co_await ensure_available(r.begin, r.end, /*announce=*/false);
-    specs.push_back({r.begin, r.length()});
     payload += r.length();
   }
-  // Stream the commit: chunks are read from the local cache disk inside the
-  // store pipeline, overlapping local I/O with provider transfers. Reads
-  // are spooled with 4 MiB readahead (the FUSE module scans its
-  // modification log sequentially), so the local disk stays near streaming
-  // rate instead of seeking per 256 KiB chunk.
-  struct Spool {
-    common::RangeSet done;
-    common::RangeSet ranges;
-  };
-  Spool spool;
-  spool.ranges = rounded;
-  Spool* sp = &spool;  // outlives the pipeline (this frame awaits it)
-  constexpr std::uint64_t kReadahead = 4 * 1024 * 1024;
-  blob::BlobClient::ExtentReader reader =
-      [this, sp](std::uint64_t offset,
-                 std::uint64_t length) -> sim::Task<common::Buffer> {
-    if (!sp->done.contains(offset, offset + length)) {
-      // Spool forward within the dirty range containing this chunk.
-      std::uint64_t spool_end = offset + length;
-      for (const common::Range& full : sp->ranges.to_vector()) {
-        if (full.begin <= offset && offset < full.end) {
-          spool_end = std::max(spool_end,
-                               std::min(full.end, offset + kReadahead));
-          break;
-        }
+
+  if (flush_agent_ != nullptr) {
+    // Asynchronous pipeline: freeze the dirty content — a COW snapshot of
+    // the local difference log, so staging costs no simulated I/O — and
+    // hand it to the drain agent. The VM resumes as soon as submit()
+    // returns the provisional version; the drain charges the local-disk
+    // reads and repository transfers in the background. read_extents keeps
+    // the real/phantom pieces exact, matching the synchronous reader's
+    // per-chunk fidelity.
+    common::SparseFile staged;
+    for (const common::Range& r : rounded.to_vector()) {
+      for (auto& [off, piece] : cache_.read_extents(r.begin, r.length())) {
+        staged.write(off, std::move(piece));
       }
-      // Reserve before awaiting so concurrent window slots don't issue
-      // overlapping reads; readahead means their data is already streaming.
-      sp->done.insert(offset, spool_end);
-      co_await disk_->read(stream_, offset, spool_end - offset);
     }
-    co_return cache_.read(offset, length);
-  };
+    dirty_.clear();
+    last_commit_payload_ = payload;
+    const blob::VersionId v = co_await flush_agent_->submit(
+        ckpt_blob_, std::move(staged), std::move(rounded));
+    last_version_ = v;
+    co_return v;
+  }
+
+  // Stream the commit: chunks are read from the local cache disk inside the
+  // store pipeline, overlapping local I/O with provider transfers (spooled
+  // readahead policy in blob/spool.h). Both `rounded` and the reader live
+  // in this frame, which awaits the pipeline.
+  std::vector<blob::BlobClient::ExtentSpec> specs;
+  for (const common::Range& r : rounded.to_vector()) {
+    specs.push_back({r.begin, r.length()});
+  }
+  blob::SpooledCommitReader spool(
+      *disk_, stream_, &rounded,
+      [this](std::uint64_t offset, std::uint64_t length) {
+        return cache_.read(offset, length);
+      });
   const blob::VersionId v =
       co_await client_.write_extents_via(ckpt_blob_, std::move(specs),
-                                         &reader, reducer_);
+                                         spool.reader(), reducer_);
   dirty_.clear();
   last_commit_payload_ = payload;
   last_commit_shipped_ = client_.last_commit_stored_bytes();

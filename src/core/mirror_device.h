@@ -22,8 +22,13 @@
 #include "blob/store.h"
 #include "common/rangeset.h"
 #include "common/sparse.h"
+#include "flush/flush.h"
 #include "img/block_device.h"
 #include "storage/disk.h"
+
+namespace blobcr::flush {
+class FlushAgent;
+}
 
 namespace blobcr::core {
 
@@ -34,6 +39,10 @@ class MirrorDevice : public img::BlockDevice {
   struct Config {
     std::uint64_t capacity = 0;
     std::size_t prefetch_streams = 2;  // background fetches in flight
+    /// Asynchronous commit pipeline (src/flush/): when enabled, COMMIT
+    /// freezes the dirty set and returns a provisional version while a
+    /// background agent drains it to the repository.
+    flush::FlushConfig flush;
   };
 
   MirrorDevice(blob::BlobStore& store, net::NodeId host,
@@ -53,8 +62,17 @@ class MirrorDevice : public img::BlockDevice {
   /// Derives the checkpoint image from the backing image if not yet done.
   sim::Task<blob::BlobId> ioctl_clone();
   /// Commits local modifications since the last commit as a new snapshot.
-  /// Returns the new version of the checkpoint image.
+  /// Returns the new version of the checkpoint image. With the async
+  /// pipeline enabled the version is provisional (readable only once its
+  /// background drain publishes it — see wait_drained()).
   sim::Task<blob::VersionId> ioctl_commit();
+
+  /// Resolves once every provisional commit of this device has published;
+  /// rethrows the first drain failure. No-op in synchronous mode.
+  sim::Task<> wait_drained();
+
+  /// The async drain agent (nullptr when the pipeline is disabled).
+  flush::FlushAgent* flush_agent() const { return flush_agent_.get(); }
 
   /// Restarted instances commit straight into their backing checkpoint
   /// image rather than cloning a new one.
@@ -77,7 +95,8 @@ class MirrorDevice : public img::BlockDevice {
   std::uint64_t last_commit_payload() const { return last_commit_payload_; }
   /// Payload that actually shipped to the repository for the last commit
   /// (== last_commit_payload() when no reduction pipeline is attached).
-  std::uint64_t last_commit_shipped() const { return last_commit_shipped_; }
+  /// Async mode: reflects the most recent *completed* drain.
+  std::uint64_t last_commit_shipped() const;
 
   /// Prefetch hint from the bus: fetch [offset, offset+len) in the
   /// background if missing.
@@ -118,6 +137,9 @@ class MirrorDevice : public img::BlockDevice {
   std::uint64_t last_commit_shipped_ = 0;
   std::vector<sim::ProcessPtr> prefetchers_;
   std::unique_ptr<sim::Semaphore> prefetch_slots_;
+  // Declared after client_/cache_: the agent's drain loop references both
+  // and must be torn down (killed) first.
+  std::unique_ptr<flush::FlushAgent> flush_agent_;
 };
 
 /// Deployment-scoped prefetch coordination: one instance's on-demand fetch

@@ -63,6 +63,7 @@ struct JobShared {
   // --- whole-job fields ---
   bool epoch_active = false;
   int epoch = 0;
+  sim::Duration ckpt_blocked = 0;  // VM pause time across snapshot requests
   /// Digests of the state each rank produced in the current epoch...
   std::vector<std::uint64_t> pending_digests;
   /// ...promoted here only when the epoch's global checkpoint commits, so a
@@ -138,9 +139,18 @@ Task<> epoch_worker(Deployment* dep, EpochParams p,
         co_await mpi::Blcr::dump(*gp, kBlcrPath);
       };
     }
-    hooks.request_disk_snapshot = [dep, i = p.rank]() -> Task<> {
-      (void)co_await dep->snapshot_instance(i);
+    hooks.request_disk_snapshot = [dep, st, i = p.rank]() -> Task<> {
+      const core::InstanceSnapshot snap = co_await dep->snapshot_instance(i);
+      st->ckpt_blocked += snap.vm_downtime;
     };
+    if (dep->flush_enabled()) {
+      // Async pipeline: a "complete global checkpoint" means globally
+      // published — every VM leader waits out its node's drain before the
+      // protocol's final barrier.
+      hooks.wait_drained = [dep, i = p.rank]() -> Task<> {
+        co_await dep->wait_drained(i);
+      };
+    }
     co_await mpi::coordinated_checkpoint(comm, hooks);
 
     ++st->finished;
@@ -334,6 +344,7 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
   injector->kill();
   report->makespan = sim.now() - job_start;
   report->useful_work = completed;
+  report->ckpt_blocked = st->ckpt_blocked;
   report->completed = !gave_up && completed >= cfg->total_work;
   if (cfg->real_data) {
     for (const bool ok : st->restore_ok)

@@ -83,7 +83,11 @@ struct FtReport {
   sim::Duration makespan = 0;
   sim::Duration useful_work = 0;         // checkpoint-committed compute
   sim::Duration wasted_compute = 0;      // epoch time lost to rollbacks
-  sim::Duration checkpoint_overhead = 0; // dump + snapshot phases
+  sim::Duration checkpoint_overhead = 0; // dump + snapshot (+ drain) phases
+  /// VM pause time summed over all snapshot requests: the app-blocked share
+  /// of checkpoint_overhead. With the async commit pipeline this collapses
+  /// to the local staging cost while the drain overlaps other ranks.
+  sim::Duration ckpt_blocked = 0;
   sim::Duration restart_overhead = 0;    // detection + redeploy + restore
   std::size_t checkpoints = 0;   // committed global checkpoints
   std::size_t failures = 0;      // injected failures that hit the job

@@ -35,6 +35,12 @@ struct CoordinatedHooks {
   reduce::Reducer* reducer = nullptr;
   /// True for exactly one rank of the whole communicator (e.g. rank 0).
   bool epoch_leader = false;
+  /// Asynchronous commit pipeline: awaited by the VM leader after the
+  /// snapshot barrier; resolves when this VM's staged snapshot has fully
+  /// published (rethrows if the drain failed). Set it on every rank or on
+  /// none — it adds one collective barrier. Leave unset for synchronous
+  /// commits.
+  std::function<sim::Task<>()> wait_drained;
 };
 
 /// Runs one global coordinated checkpoint from the calling rank's
@@ -60,8 +66,19 @@ inline sim::Task<> coordinated_checkpoint(MpiWorld::Comm comm,
   // 4. Disk snapshot, one request per VM.
   if (hooks.vm_leader && hooks.request_disk_snapshot)
     co_await hooks.request_disk_snapshot();
-  // 5. Everybody waits until all snapshots completed, then resumes.
+  // 5. Everybody waits until all snapshots completed (synchronous commits)
+  //    or staged (async pipeline — the VMs have already resumed), then the
+  //    guest application resumes.
   co_await comm.barrier();
+  // 6. Async drain barrier: a "complete global checkpoint" means globally
+  //    *published*, so each VM leader waits for its node's background drain
+  //    before the final collective barrier. A drain failure surfaces here
+  //    as a failed checkpoint, exactly like a failed synchronous commit in
+  //    step 4.
+  if (hooks.wait_drained) {
+    if (hooks.vm_leader) co_await hooks.wait_drained();
+    co_await comm.barrier();
+  }
 }
 
 }  // namespace blobcr::mpi

@@ -217,6 +217,87 @@ TEST(RepairTest, UnrepairableWhenTooFewLiveProviders) {
   }(&cluster));
 }
 
+TEST(RepairTest, LostAccountingIsExactWhenEveryProviderDies) {
+  TestCluster cluster(3, /*replication=*/2);
+  cluster.run([](TestCluster* c) -> Task<> {
+    BlobClient client(*c->store, c->client_node);
+    const BlobId blob = co_await client.create();
+    (void)co_await client.write(blob, 0, Buffer::pattern(24 * 1024, 8));
+
+    for (const auto& p : c->store->providers()) {
+      c->store->fail_node(p->node());
+    }
+    RepairService repair(*c->store);
+    const RepairService::Report report = co_await repair.repair(2);
+    // Zero live replicas anywhere: every scanned chunk is lost, none is
+    // merely unrepairable (the lost path short-circuits), nothing copies.
+    EXPECT_GT(report.chunks_scanned, 0u);
+    EXPECT_EQ(report.lost, report.chunks_scanned);
+    EXPECT_EQ(report.unrepairable, 0u);
+    EXPECT_EQ(report.copies_made, 0u);
+    EXPECT_EQ(report.bytes_copied, 0u);
+    // under_replicated counts only chunks that still have a live copy.
+    EXPECT_EQ(repair.under_replicated(2), 0u);
+  }(&cluster));
+}
+
+TEST(RepairTest, UnrepairableAccountingWhenNoEligibleDestinationExists) {
+  // Two providers at replication 2: every chunk lives on both, so after one
+  // node dies the only live provider already holds everything — there is no
+  // eligible destination, and the deficit is permanent until a node joins.
+  TestCluster cluster(2, /*replication=*/2);
+  cluster.run([](TestCluster* c) -> Task<> {
+    BlobClient client(*c->store, c->client_node);
+    const BlobId blob = co_await client.create();
+    const Buffer payload = Buffer::pattern(24 * 1024, 13);
+    const VersionId v = co_await client.write(blob, 0, payload);
+
+    c->store->fail_node(c->busiest_provider());
+    RepairService repair(*c->store);
+    const RepairService::Report report = co_await repair.repair(2);
+    EXPECT_GT(report.chunks_scanned, 0u);
+    EXPECT_EQ(report.unrepairable, report.chunks_scanned);
+    EXPECT_EQ(report.lost, 0u);
+    EXPECT_EQ(report.copies_made, 0u);
+    EXPECT_EQ(report.bytes_copied, 0u);
+    // The deficit persists (a second pass accounts it identically)...
+    const RepairService::Report again = co_await repair.repair(2);
+    EXPECT_EQ(again.unrepairable, again.chunks_scanned);
+    EXPECT_GT(repair.under_replicated(2), 0u);
+    // ...but the data is still readable from the surviving replica.
+    const Buffer back = co_await client.read(blob, v, 0, payload.size());
+    EXPECT_TRUE(back == payload);
+  }(&cluster));
+}
+
+TEST(RepairTest, PartialRepairCountsBothCopyAndUnrepairable) {
+  // One chunk on 3 of 4 providers. Kill two holders: deficit 2, but only
+  // one eligible destination (the non-holder) survives — the pass makes the
+  // one copy it can AND records the chunk as unrepairable for the rest.
+  TestCluster cluster(4, /*replication=*/3, /*chunk_size=*/1024);
+  cluster.run([](TestCluster* c) -> Task<> {
+    BlobClient client(*c->store, c->client_node);
+    const BlobId blob = co_await client.create();
+    (void)co_await client.write(blob, 0, Buffer::pattern(1024, 21));
+
+    std::size_t failed = 0;
+    for (const auto& p : c->store->providers()) {
+      if (p->stored_bytes() > 0 && failed < 2) {
+        c->store->fail_node(p->node());
+        ++failed;
+      }
+    }
+    EXPECT_EQ(failed, 2u);
+    RepairService repair(*c->store);
+    const RepairService::Report report = co_await repair.repair(3);
+    EXPECT_EQ(report.chunks_scanned, 1u);
+    EXPECT_EQ(report.copies_made, 1u);     // the one possible copy happened
+    EXPECT_EQ(report.unrepairable, 1u);    // the same chunk stays short
+    EXPECT_EQ(report.lost, 0u);
+    EXPECT_GT(report.bytes_copied, 0u);
+  }(&cluster));
+}
+
 TEST(RepairTest, InvalidTargetThrows) {
   TestCluster cluster(3, 1);
   cluster.run([](TestCluster* c) -> Task<> {
