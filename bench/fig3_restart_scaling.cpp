@@ -23,6 +23,12 @@ void run_point(benchmark::State& state, const Approach& approach,
       apps::run_synthetic(cloud, run, approach.mode);
   report_seconds(state, result.restart_time);
   state.counters["restart_s"] = sim::to_seconds(result.restart_time);
+  // The content-addressed data plane's transfer split (zero for the qcow
+  // baselines): repository wire bytes vs intra-deployment peer copies.
+  state.counters["repo_mb_per_inst"] =
+      mb(result.restart_repo_bytes) / static_cast<double>(instances);
+  state.counters["peer_mb_per_inst"] =
+      mb(result.restart_peer_bytes) / static_cast<double>(instances);
 }
 
 void register_all() {

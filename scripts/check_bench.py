@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Compare fresh fast-mode bench JSON against the bench-results/ baselines.
+
+The CI release leg runs the restart-path benches under BLOBCR_BENCH_FAST=1
+and calls this script; the build fails when restart makespan or
+repository-bytes-fetched regresses beyond the tolerance band, or when a
+bit-exactness check (the `verified` counter) flips to 0.
+
+Both sides are *simulated* results, so run-to-run noise is zero for an
+unchanged binary; the tolerance band only absorbs intentional modeling
+churn between PRs. Regressions are one-sided: getting faster / fetching
+fewer repository bytes never fails the gate (but refresh the baselines so
+the improvement is locked in).
+
+Usage:
+  check_bench.py --fresh DIR [--baseline bench-results] [--tolerance 0.25]
+                 [--file BENCH_foo.json ...]
+
+Exit status: 0 = no regressions, 1 = regression or missing inputs.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+# Gated metrics: benchmark-local counter name -> (pretty label, absolute
+# slack below which differences are ignored).
+GATED_COUNTERS = {
+    "restart_s": ("restart makespan [s]", 0.05),
+    "repo_mb_per_inst": ("repo bytes fetched [MB/inst]", 0.5),
+}
+# Default file set: the restart-path benches the gate protects.
+DEFAULT_FILES = [
+    "BENCH_fig3_restart_scaling.json",
+    "BENCH_ablation_prefetch.json",
+]
+
+
+def load_benchmarks(path):
+    """name -> {metric: value} for one google-benchmark JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        metrics = {}
+        for key in list(GATED_COUNTERS) + ["verified", "real_time"]:
+            if key in b:
+                metrics[key] = float(b[key])
+        out[b["name"]] = metrics
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True,
+                    help="directory with freshly emitted BENCH_*.json")
+    ap.add_argument("--baseline", default="bench-results",
+                    help="directory with committed baseline BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="relative regression band (0.25 = +25%%)")
+    ap.add_argument("--file", action="append", default=None,
+                    help="gate only these files (repeatable); default: "
+                         + ", ".join(DEFAULT_FILES))
+    args = ap.parse_args()
+
+    files = args.file if args.file else DEFAULT_FILES
+    regressions = []
+    notes = []
+    compared = 0
+    baseline_points = 0
+
+    for fname in files:
+        fresh_path = os.path.join(args.fresh, fname)
+        base_path = os.path.join(args.baseline, fname)
+        if not os.path.exists(fresh_path):
+            regressions.append(f"{fname}: fresh results missing "
+                               f"(bench crashed or was not run)")
+            continue
+        if not os.path.exists(base_path):
+            notes.append(f"{fname}: no committed baseline — skipped "
+                         f"(commit one via scripts/run_benches.sh)")
+            continue
+        fresh = load_benchmarks(fresh_path)
+        base = load_benchmarks(base_path)
+        baseline_points += len(base)
+
+        for name, bmetrics in sorted(base.items()):
+            fmetrics = fresh.get(name)
+            if fmetrics is None:
+                notes.append(f"{name}: present in baseline, absent in fresh "
+                             f"run (renamed sweep point?)")
+                continue
+            compared += 1
+            # Bit-exactness must never flip off.
+            if bmetrics.get("verified", 1.0) >= 1.0 > fmetrics.get(
+                    "verified", 1.0):
+                regressions.append(
+                    f"{name}: restored-image verification FAILED "
+                    f"(verified {fmetrics.get('verified')})")
+            for key, (label, slack) in GATED_COUNTERS.items():
+                if key not in bmetrics or key not in fmetrics:
+                    continue
+                b, f = bmetrics[key], fmetrics[key]
+                limit = b * (1.0 + args.tolerance) + slack
+                if f > limit:
+                    regressions.append(
+                        f"{name}: {label} regressed "
+                        f"{b:.3f} -> {f:.3f} (limit {limit:.3f})")
+        for name in sorted(set(fresh) - set(base)):
+            notes.append(f"{name}: new benchmark, no baseline yet")
+
+    for n in notes:
+        print(f"note: {n}")
+    print(f"check_bench: compared {compared} benchmark points "
+          f"(tolerance +{args.tolerance * 100:.0f}%)")
+    if baseline_points > 0 and compared == 0:
+        # Baselines exist but nothing matched by name (renamed sweep
+        # points?): a vacuous pass would let any regression through.
+        regressions.append(
+            "no benchmark points matched between fresh and baseline — "
+            "regenerate bench-results/ via scripts/run_benches.sh")
+    if regressions:
+        print(f"\n{len(regressions)} REGRESSION(S):", file=sys.stderr)
+        for r in regressions:
+            print(f"  FAIL {r}", file=sys.stderr)
+        return 1
+    print("check_bench: OK — no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,33 +1,41 @@
 #!/usr/bin/env bash
-# Builds the benchmarks in Release and runs each bench/ binary, emitting one
-# bench-results/BENCH_<name>.json per figure so the perf trajectory
-# accumulates across PRs.
+# Builds the benchmarks in Release and runs every bench binary found in the
+# build directory, emitting one bench-results/BENCH_<name>.json per figure so
+# the perf trajectory accumulates across PRs.
+#
+# Bench binaries are discovered from the build directory (any executable
+# whose name matches a bench/*.cpp translation unit), so adding a new
+# bench/*.cpp is picked up automatically — no hardcoded list to maintain.
 #
 # Env:
 #   BLOBCR_BENCH_FAST  1 (default) = reduced sweeps (CI smoke);
 #                      0 = full paper-scale sweeps
 #   BUILD_DIR          build directory (default: build-bench)
 #   OUT_DIR            results directory (default: bench-results)
+#   BENCH_FILTER       optional egrep pattern to run a subset by name
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export BLOBCR_BENCH_FAST="${BLOBCR_BENCH_FAST:-1}"
 BUILD_DIR="${BUILD_DIR:-build-bench}"
 OUT_DIR="${OUT_DIR:-bench-results}"
+BENCH_FILTER="${BENCH_FILTER:-}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 mkdir -p "$OUT_DIR"
 status=0
-for src in bench/*.cpp; do
-  name="$(basename "$src" .cpp)"
-  [ "$name" = "bench_common" ] && continue
-  bin="$BUILD_DIR/$name"
-  if [ ! -x "$bin" ]; then
-    echo "SKIP $name (no binary — benchmark library missing?)" >&2
+found=0
+for bin in "$BUILD_DIR"/*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  # A bench binary is one built from a bench/ translation unit.
+  [ -f "bench/$name.cpp" ] || continue
+  if [ -n "$BENCH_FILTER" ] && ! echo "$name" | grep -Eq "$BENCH_FILTER"; then
     continue
   fi
+  found=$((found + 1))
   echo "=== $name (BLOBCR_BENCH_FAST=$BLOBCR_BENCH_FAST) ==="
   if ! "$bin" --benchmark_out="$OUT_DIR/BENCH_${name}.json" \
               --benchmark_out_format=json; then
@@ -35,4 +43,8 @@ for src in bench/*.cpp; do
     status=1
   fi
 done
+if [ "$found" -eq 0 ]; then
+  echo "No bench binaries found in $BUILD_DIR (benchmark library missing?)" >&2
+  status=1
+fi
 exit $status

@@ -46,13 +46,23 @@ Task<> synthetic_worker(Deployment* dep, std::size_t index,
                         std::shared_ptr<SyntheticShared> shared,
                         vm::GuestProcess* gp) {
   for (int round = 0; round < run.rounds; ++round) {
-    // (Re)fill the buffer with fresh random data.
+    // (Re)fill the buffer with fresh random data. The leading
+    // shared_fraction of every rank's buffer is the same deployment-wide
+    // content (a common input dataset), the tail is rank-private.
     const std::uint64_t seed =
         0xf111ULL * (index + 1) + static_cast<std::uint64_t>(round);
-    gp->set_region("buffer",
-                   run.real_data
-                       ? common::Buffer::pattern(run.buffer_bytes, seed)
-                       : common::Buffer::phantom(run.buffer_bytes));
+    if (run.real_data) {
+      std::uint64_t shared = static_cast<std::uint64_t>(
+          static_cast<double>(run.buffer_bytes) * run.shared_fraction);
+      shared = std::min(shared, run.buffer_bytes);
+      const std::uint64_t shared_seed =
+          0x5a1dULL + static_cast<std::uint64_t>(round);
+      common::Buffer buf = common::Buffer::pattern(shared, shared_seed);
+      buf.append(common::Buffer::pattern(run.buffer_bytes - shared, seed));
+      gp->set_region("buffer", std::move(buf));
+    } else {
+      gp->set_region("buffer", common::Buffer::phantom(run.buffer_bytes));
+    }
     co_await gp->compute(sim::transfer_time(run.buffer_bytes, kMemFillBps));
     shared->digests[index] = gp->region("buffer").digest();
 
@@ -148,6 +158,10 @@ Task<> synthetic_driver(Cloud* cloud, SyntheticRun run, CkptMode mode,
   if (run.do_restart) {
     const GlobalCheckpoint ckpt = dep.collect_last_snapshots();
     dep.destroy_all();
+    // §4.3.1 restarts on different nodes with no local state left behind:
+    // cold caches, so every byte comes from the repository or from peers
+    // restarting alongside.
+    dep.forget_node_caches();
     t0 = sim.now();
     co_await dep.restart_from(ckpt, run.restart_shift);
     if (mode != CkptMode::FullVm) {
@@ -162,6 +176,10 @@ Task<> synthetic_driver(Cloud* cloud, SyntheticRun run, CkptMode mode,
       }
     }
     result->restart_time = sim.now() - t0;
+    // The restarted mirrors are fresh objects, so their counters cover
+    // exactly the restart's lazy-fetch traffic.
+    result->restart_repo_bytes = dep.boot_repo_bytes();
+    result->restart_peer_bytes = dep.boot_peer_bytes();
     if (run.real_data) {
       for (const bool ok : shared->restore_ok) {
         result->verified = result->verified && ok;
@@ -311,6 +329,7 @@ Task<> cm1_driver(Cloud* cloud, Cm1Run run, CkptMode mode,
   if (run.do_restart) {
     const GlobalCheckpoint ckpt = dep.collect_last_snapshots();
     dep.destroy_all();
+    dep.forget_node_caches();  // cold restart on different nodes (§4.4)
     t0 = sim.now();
     co_await dep.restart_from(ckpt, run.restart_shift);
     for (std::size_t i = 0; i < run.vms; ++i) {
@@ -330,6 +349,8 @@ Task<> cm1_driver(Cloud* cloud, Cm1Run run, CkptMode mode,
       co_await dep.vm(i).join_guests();
     }
     result->restart_time = sim.now() - t0;
+    result->restart_repo_bytes = dep.boot_repo_bytes();
+    result->restart_peer_bytes = dep.boot_peer_bytes();
     if (run.app.real_data) {
       for (const bool ok : shared->restore_ok) {
         result->verified = result->verified && ok;

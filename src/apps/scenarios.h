@@ -29,6 +29,13 @@ struct SyntheticRun {
   std::size_t instances = 1;
   std::uint64_t buffer_bytes = 50 * common::kMB;
   bool real_data = false;
+  /// Fraction of each rank's buffer filled with deployment-shared content
+  /// (a common input dataset every rank loads); the rest is rank-private.
+  /// With the reduction pipeline enabled the shared part collapses to one
+  /// stored copy across ranks — the dedup-heavy restart workload where the
+  /// content-addressed data plane pays off most. Shared content needs
+  /// real_data (phantom payloads are honest about being un-dedupable).
+  double shared_fraction = 0.0;
   int rounds = 1;          // successive checkpoints (§4.3.2)
   bool do_restart = false; // kill everything and restart (§4.3.1)
   std::size_t restart_shift = 7;  // re-deploy on different nodes
@@ -59,6 +66,11 @@ struct RunResult {
   std::vector<std::uint64_t> repo_growth;
   /// Restart completion time: redeploy + reboot + state restore (Fig 3).
   sim::Duration restart_time = 0;
+  /// Restart transfer split (BlobCR): wire bytes pulled from the
+  /// repository vs decoded bytes copied between deployment peers — the
+  /// content-addressed data plane's two transfer classes.
+  std::uint64_t restart_repo_bytes = 0;
+  std::uint64_t restart_peer_bytes = 0;
   /// Digest verification outcome (real-data runs; true in phantom mode).
   bool verified = true;
 };

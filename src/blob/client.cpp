@@ -11,10 +11,8 @@
 
 namespace blobcr::blob {
 
-namespace {
-
-/// Maps a fetched (possibly reduced) chunk payload back to logical bytes.
-common::Buffer decode_chunk(const ChunkLocation& loc, common::Buffer stored) {
+common::Buffer BlobClient::decode_stored(const ChunkLocation& loc,
+                                         common::Buffer stored) {
   switch (loc.encoding) {
     case ChunkEncoding::Raw:
     case ChunkEncoding::Zero:
@@ -30,6 +28,12 @@ common::Buffer decode_chunk(const ChunkLocation& loc, common::Buffer stored) {
       return common::Buffer::phantom(loc.logical());
   }
   return stored;
+}
+
+namespace {
+
+common::Buffer decode_chunk(const ChunkLocation& loc, common::Buffer stored) {
+  return BlobClient::decode_stored(loc, std::move(stored));
 }
 
 /// True iff any write index falls in [lo, hi).
@@ -315,6 +319,10 @@ sim::Task<VersionId> BlobClient::write_extents_via(
       ChunkLocation loc = alloc[k];
       loc.encoding = plans[i].encoding;
       loc.logical_size = pieces[i].length;
+      // Content identity travels into the leaf only when the digest is a
+      // real-content digest (dedupable chunks) — phantom digests are
+      // length-derived and would alias unrelated content.
+      if (plans[i].index_on_commit) loc.digest = plans[i].digest;
       stored_payload += loc.size;
       reducer->account_stored(pieces[i].length, loc.size);
       locs[i] = std::move(loc);
@@ -554,6 +562,38 @@ sim::Task<common::Buffer> BlobClient::read(BlobId blob, VersionId version,
   }
   bytes_read_ += len;
   co_return out;
+}
+
+sim::Task<std::vector<BlobClient::ChunkRef>> BlobClient::resolve_chunks(
+    BlobId blob, VersionId version, std::uint64_t offset, std::uint64_t len) {
+  const VersionEntry entry = co_await resolve(blob, version);
+  std::vector<ChunkRef> refs;
+  if (entry.root == 0 || len == 0) co_return refs;
+  if (offset + len > entry.size && entry.size != 0) {
+    len = offset < entry.size ? entry.size - offset : 0;
+    if (len == 0) co_return refs;
+  }
+  const std::uint64_t chunk_size = entry.chunk_size;
+  const std::uint64_t lo_chunk = offset / chunk_size;
+  const std::uint64_t hi_chunk = (offset + len + chunk_size - 1) / chunk_size;
+  std::vector<std::pair<std::uint64_t, ChunkLocation>> leaves;
+  co_await descend(entry.root, capacity_chunks(), lo_chunk, hi_chunk, &leaves);
+  std::sort(leaves.begin(), leaves.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  refs.reserve(leaves.size());
+  for (auto& [index, loc] : leaves) {
+    refs.push_back(ChunkRef{index, std::move(loc)});
+  }
+  co_return refs;
+}
+
+sim::Task<common::Buffer> BlobClient::fetch_decoded(const ChunkLocation& loc) {
+  if (loc.encoding == ChunkEncoding::Zero || loc.id == 0) {
+    co_return common::Buffer::zeros(loc.logical());
+  }
+  common::Buffer stored = co_await fetch_chunk(loc);
+  bytes_read_ += loc.logical();
+  co_return decode_chunk(loc, std::move(stored));
 }
 
 sim::Task<> BlobClient::prefetch_metadata(BlobId blob, VersionId version,

@@ -104,6 +104,32 @@ class BlobClient {
   sim::Task<common::Buffer> read(BlobId blob, VersionId version,
                                  std::uint64_t offset, std::uint64_t len);
 
+  /// One resolved leaf of a version: chunk index plus the stored location
+  /// (ChunkId, content digest, encoding, replicas). The restart data plane
+  /// works on these identity tuples instead of opaque byte ranges.
+  struct ChunkRef {
+    std::uint64_t index = 0;  // chunk index within the blob
+    ChunkLocation loc;
+  };
+
+  /// Resolves the chunk-aligned window covering [offset, offset+len) to its
+  /// leaf tuples, warming the metadata cache along the way. Holes (never
+  /// written, or beyond the logical size) are simply absent from the result
+  /// — they read as zeros without any chunk behind them.
+  sim::Task<std::vector<ChunkRef>> resolve_chunks(BlobId blob,
+                                                  VersionId version,
+                                                  std::uint64_t offset,
+                                                  std::uint64_t len);
+
+  /// Fetches one stored chunk from its replicas and decodes it back to
+  /// logical bytes (RLE expansion, phantom-ratio reversal). Zero-encoded
+  /// locations return a zero buffer without touching the network.
+  sim::Task<common::Buffer> fetch_decoded(const ChunkLocation& loc);
+
+  /// Maps a stored (possibly reduced) chunk payload back to logical bytes.
+  static common::Buffer decode_stored(const ChunkLocation& loc,
+                                      common::Buffer stored);
+
   /// Warms this client's metadata cache for a byte range (used by restart's
   /// lazy-fetch path to avoid per-block metadata stalls).
   sim::Task<> prefetch_metadata(BlobId blob, VersionId version,

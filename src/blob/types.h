@@ -38,6 +38,12 @@ struct ChunkLocation {
   std::vector<net::NodeId> replicas;
   ChunkEncoding encoding = ChunkEncoding::Raw;
   std::uint32_t logical_size = 0;  // 0 => same as `size` (Raw)
+  /// Raw-content digest, carried from the reduction pipeline into the leaf.
+  /// Non-zero only for fully-real dedupable chunks; 0 = content unknown
+  /// (plain commits, phantom payloads). The restart data plane keys its
+  /// decoded-chunk caches and peer exchange on this when present, so two
+  /// distinct ChunkIds holding identical content share one cached copy.
+  std::uint64_t digest = 0;
 
   std::uint32_t logical() const { return logical_size != 0 ? logical_size : size; }
 };

@@ -89,6 +89,11 @@ void Cloud::run(sim::Task<> body) {
   sim_.run();
   if (p->error()) std::rethrow_exception(p->error());
   if (!p->finished()) {
+#ifdef BLOBCR_DEBUG_STALL
+    for (const auto& pr : sim_.debug_processes()) {
+      if (pr && !pr->finished()) fprintf(stderr, "STALLED: %s\n", pr->name().c_str());
+    }
+#endif
     // The queue drained with the driver still blocked: some process it was
     // waiting on died or deadlocked. Surface any failed process's error.
     sim_.shutdown();
@@ -171,8 +176,11 @@ Deployment::Deployment(Cloud& cloud, std::size_t instances,
       count_(instances),
       node_offset_(node_offset),
       seq_(cloud.next_deployment_seq()) {
-  bus_ = std::make_unique<PrefetchBus>(cloud.simulation(),
-                                       cloud.config().hint_latency);
+  PrefetchBus::Config bcfg;
+  bcfg.hint_latency = cloud.config().hint_latency;
+  bcfg.peer_shape = net::Fabric::Shape{cloud.config().peer_latency,
+                                       cloud.config().peer_bandwidth_bps};
+  bus_ = std::make_unique<PrefetchBus>(cloud.simulation(), bcfg);
   if (cloud.config().backend == Backend::BlobCR &&
       cloud.config().reduction.enabled) {
     reducer_ = std::make_unique<reduce::Reducer>(*cloud.blob_store(),
@@ -181,7 +189,10 @@ Deployment::Deployment(Cloud& cloud, std::size_t instances,
   mpi_ = std::make_unique<mpi::MpiWorld>(cloud.simulation(), cloud.fabric());
 }
 
-Deployment::~Deployment() { destroy_all(); }
+Deployment::~Deployment() {
+  kill_restart_scheduler();
+  destroy_all();
+}
 
 void Deployment::build_instance_fresh(std::size_t i, net::NodeId node) {
   auto inst = std::make_unique<Instance>();
@@ -197,7 +208,8 @@ void Deployment::build_instance_fresh(std::size_t i, net::NodeId node) {
     inst->mirror = std::make_unique<MirrorDevice>(
         *cloud.blob_store(), node, cloud.disk(node),
         cloud.next_disk_stream(node), cloud.base_blob(), 1, mcfg,
-        cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_.get());
+        cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_.get(),
+        cloud.chunk_cache(node));
     inst->proxy = std::make_unique<CheckpointProxy>(
         cloud.simulation(), cloud.fabric(), node, cfg.proxy_auth_cost);
   } else {
@@ -345,6 +357,11 @@ void Deployment::destroy_all() {
   }
 }
 
+void Deployment::forget_node_caches() {
+  bus_->drop_all_holders();
+  cloud_->reset_chunk_caches();
+}
+
 void Deployment::fail_instance(std::size_t i) {
   Instance& inst = *instances_.at(i);
   inst.failed = true;
@@ -354,6 +371,13 @@ void Deployment::fail_instance(std::size_t i) {
   // frame unwinds) and staged generations are lost.
   if (inst.mirror && inst.mirror->flush_agent() != nullptr) {
     inst.mirror->flush_agent()->fail_stop();
+  }
+  // The node's decoded-chunk cache dies with the node: peers must not be
+  // offered copies a dead machine can no longer serve, and a replacement
+  // instance later placed on this node id must come up cold.
+  bus_->drop_node(inst.node);
+  if (DecodedChunkCache* cache = cloud_->chunk_cache(inst.node)) {
+    cache->clear();
   }
   cloud_->fail_node(inst.node);
 }
@@ -386,7 +410,8 @@ sim::Task<> Deployment::build_instance_from_snapshot(std::size_t i,
     inst->mirror = std::make_unique<MirrorDevice>(
         *cloud.blob_store(), node, cloud.disk(node),
         cloud.next_disk_stream(node), snap.image, snap.version, mcfg,
-        cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_.get());
+        cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_.get(),
+        cloud.chunk_cache(node));
     // Subsequent checkpoints land in the same checkpoint image.
     inst->mirror->set_checkpoint_blob(snap.image, snap.version);
     inst->proxy = std::make_unique<CheckpointProxy>(
@@ -432,8 +457,16 @@ sim::Task<> Deployment::build_instance_from_snapshot(std::size_t i,
   }
 }
 
+void Deployment::kill_restart_scheduler() {
+  if (restart_scheduler_ && !restart_scheduler_->finished()) {
+    restart_scheduler_->kill();
+  }
+  restart_scheduler_ = nullptr;
+}
+
 sim::Task<> Deployment::restart_from(GlobalCheckpoint ckpt,
                                      std::size_t node_offset) {
+  kill_restart_scheduler();  // it references the mirrors cleared below
   destroy_all();
   // Fresh namespace for post-restart snapshot files.
   seq_ = cloud_->next_deployment_seq();
@@ -448,6 +481,19 @@ sim::Task<> Deployment::restart_from(GlobalCheckpoint ckpt,
         i, cloud_->compute_node(node_offset + i), ckpt.snapshots[i]));
   }
   co_await sim::when_all(cloud_->simulation(), std::move(boots));
+  // Restart scheduler: resolve every instance's snapshot to chunk identity
+  // tuples and start popularity-ordered background prefetch (most-shared
+  // chunks first), so one repository fetch per distinct chunk feeds the
+  // whole deployment through peer copies while the guests restore. Runs as
+  // a background process — control-plane resolution overlaps the restore
+  // instead of serializing inside the restart window.
+  const CloudConfig& cfg = cloud_->config();
+  if (cfg.backend == Backend::BlobCR && cfg.adaptive_prefetch &&
+      cfg.restart_prefetch_budget > 0) {
+    restart_scheduler_ = cloud_->simulation().spawn(
+        "restart-scheduler",
+        bus_->schedule_restart_prefetch(cfg.restart_prefetch_budget));
+  }
 }
 
 sim::Task<sim::Duration> Deployment::migrate_instance(std::size_t i,
@@ -466,6 +512,22 @@ std::uint64_t Deployment::boot_remote_bytes() const {
   std::uint64_t total = 0;
   for (const auto& inst : instances_) {
     if (inst && inst->mirror) total += inst->mirror->remote_bytes_fetched();
+  }
+  return total;
+}
+
+std::uint64_t Deployment::boot_repo_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& inst : instances_) {
+    if (inst && inst->mirror) total += inst->mirror->repo_bytes_fetched();
+  }
+  return total;
+}
+
+std::uint64_t Deployment::boot_peer_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& inst : instances_) {
+    if (inst && inst->mirror) total += inst->mirror->peer_bytes_fetched();
   }
   return total;
 }

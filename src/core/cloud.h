@@ -11,11 +11,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "blob/client.h"
 #include "blob/store.h"
 #include "common/sparse.h"
+#include "common/units.h"
+#include "core/chunk_cache.h"
 #include "core/mirror_device.h"
 #include "flush/flush.h"
 #include "core/proxy.h"
@@ -64,6 +67,18 @@ struct CloudConfig {
   flush::FlushConfig flush;
   bool adaptive_prefetch = true;
   sim::Duration hint_latency = 300 * sim::kMicrosecond;
+  /// Content-addressed restart data plane: intra-deployment peer copies of
+  /// decoded chunks run as their own traffic class — typically same-rack,
+  /// so lower latency than repository requests; bandwidth 0 = NIC-limited
+  /// (the fabric's fair share still applies either way).
+  sim::Duration peer_latency = 50 * sim::kMicrosecond;
+  double peer_bandwidth_bps = 0;
+  /// Per-compute-node decoded-chunk cache (shared by all mirroring modules
+  /// on the node; backs the peer exchange). 0 disables.
+  std::uint64_t chunk_cache_bytes = 512 * common::kMB;
+  /// Per-instance byte budget for the popularity-ordered background
+  /// prefetch a restart kicks off (0 disables the restart scheduler).
+  std::uint64_t restart_prefetch_budget = 64 * common::kMB;
   sim::Duration proxy_auth_cost = 500 * sim::kMicrosecond;
 
   vm::GuestOsConfig os = vm::GuestOsConfig::debian_like();
@@ -112,6 +127,30 @@ class Cloud {
     return streams_.at(node).next();
   }
 
+  /// The node's shared decoded-chunk cache (lazily created; one per compute
+  /// node, shared by every mirroring module that ever runs there). With
+  /// CloudConfig::chunk_cache_bytes == 0 this is a zero-capacity cache:
+  /// every insert is rejected, so nothing is cached and — since the peer
+  /// exchange serves out of these caches — no peer copies happen either.
+  /// (Returning nullptr instead would silently hand each device a private
+  /// fallback cache, un-disabling the ablation's "off" data point.)
+  DecodedChunkCache* chunk_cache(net::NodeId node) {
+    auto& slot = chunk_caches_[node];
+    if (!slot) {
+      slot = std::make_unique<DecodedChunkCache>(cfg_.chunk_cache_bytes);
+    }
+    return slot.get();
+  }
+
+  /// Empties every node's decoded-chunk cache (the machines were reclaimed
+  /// / reimaged). Cache objects stay alive — mirroring modules hold
+  /// pointers to them — only their contents are dropped.
+  void reset_chunk_caches() {
+    for (auto& [node, cache] : chunk_caches_) {
+      if (cache) cache->clear();
+    }
+  }
+
   net::NodeId compute_node(std::size_t i) const {
     return static_cast<net::NodeId>(i % cfg_.compute_nodes);
   }
@@ -148,6 +187,8 @@ class Cloud {
   std::vector<storage::StreamIdAllocator> streams_;
   std::unique_ptr<blob::BlobStore> blob_;
   std::unique_ptr<pfs::PvfsCluster> pvfs_;
+  std::unordered_map<net::NodeId, std::unique_ptr<DecodedChunkCache>>
+      chunk_caches_;
   common::SparseFile base_content_;
   bool base_uploaded_ = false;
   blob::BlobId base_blob_ = 0;
@@ -219,6 +260,13 @@ class Deployment {
 
   /// Kills all instances (termination or simulated global failure).
   void destroy_all();
+  /// Cold-restart semantics: the deployment's machines were reclaimed, so
+  /// their decoded-chunk caches and the bus's holder registry are gone.
+  /// The paper's restart experiments call this between destroy_all() and
+  /// restart_from(); the FT runner does NOT — surviving nodes keep serving
+  /// peer copies across a rollback (cooperative restart), and failed nodes
+  /// are dropped individually by fail_instance().
+  void forget_node_caches();
   /// Fail-stop of one instance's node.
   void fail_instance(std::size_t i);
 
@@ -238,8 +286,13 @@ class Deployment {
   sim::Task<sim::Duration> migrate_instance(std::size_t i, net::NodeId target);
 
   std::uint64_t boot_remote_bytes() const;  // lazy-fetch traffic observed
+  /// Repository wire bytes vs intra-deployment peer-copy bytes behind
+  /// boot_remote_bytes() (the restart data plane's two transfer classes).
+  std::uint64_t boot_repo_bytes() const;
+  std::uint64_t boot_peer_bytes() const;
 
  private:
+  void kill_restart_scheduler();
   void build_instance_fresh(std::size_t i, net::NodeId node);
   sim::Task<> build_instance_from_snapshot(std::size_t i, net::NodeId node,
                                            InstanceSnapshot snap);
@@ -249,6 +302,9 @@ class Deployment {
   std::size_t count_;
   std::size_t node_offset_;
   std::uint64_t seq_;  // unique per deployment; namespaces snapshot files
+  /// The restart scheduler runs in the background (it references the
+  /// instances' mirrors, so it is killed before they are torn down).
+  sim::ProcessPtr restart_scheduler_;
   std::unique_ptr<PrefetchBus> bus_;
   std::unique_ptr<reduce::Reducer> reducer_;
   std::unique_ptr<mpi::MpiWorld> mpi_;

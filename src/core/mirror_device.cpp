@@ -5,15 +5,23 @@
 
 #include "blob/spool.h"
 #include "flush/flush_agent.h"
+#include "sim/when_all.h"
 
 namespace blobcr::core {
+
+namespace {
+/// Byte budget of the private fallback cache for standalone devices (the
+/// Cloud sizes shared per-node caches from CloudConfig instead).
+constexpr std::uint64_t kFallbackCacheBytes = 512ULL * 1024 * 1024;
+}  // namespace
 
 MirrorDevice::MirrorDevice(blob::BlobStore& store, net::NodeId host,
                            storage::Disk& local_disk,
                            std::uint64_t disk_stream,
                            blob::BlobId backing_blob,
                            blob::VersionId backing_version, const Config& cfg,
-                           PrefetchBus* bus, blob::CommitReducer* reducer)
+                           PrefetchBus* bus, blob::CommitReducer* reducer,
+                           DecodedChunkCache* node_cache)
     : store_(&store),
       host_(host),
       disk_(&local_disk),
@@ -24,7 +32,8 @@ MirrorDevice::MirrorDevice(blob::BlobStore& store, net::NodeId host,
       bus_(bus),
       reducer_(reducer),
       client_(store, host),
-      fetch_done_(store.simulation()) {
+      fetch_done_(store.simulation()),
+      node_cache_(node_cache) {
   assert(cfg_.capacity > 0);
   prefetch_slots_ = std::make_unique<sim::Semaphore>(
       store.simulation(), static_cast<std::int64_t>(cfg_.prefetch_streams));
@@ -42,6 +51,14 @@ MirrorDevice::~MirrorDevice() {
   if (bus_ != nullptr) bus_->detach(this);
 }
 
+DecodedChunkCache& MirrorDevice::node_cache() {
+  if (node_cache_ == nullptr) {
+    own_cache_ = std::make_unique<DecodedChunkCache>(kFallbackCacheBytes);
+    node_cache_ = own_cache_.get();
+  }
+  return *node_cache_;
+}
+
 std::uint64_t MirrorDevice::chunk_size() const {
   return store_->config().default_chunk_size;
 }
@@ -55,54 +72,200 @@ sim::Task<> MirrorDevice::wait_drained() {
   if (flush_agent_ != nullptr) co_await flush_agent_->wait_drained();
 }
 
+namespace {
+
+/// Releases the deployment-wide repository-fetch claim even when the
+/// committing coroutine frame is destroyed mid-flight (fail-stop kill):
+/// a claim that outlives its fetch would wedge every other instance
+/// waiting to materialize the same content.
+struct RepoClaimGuard {
+  PrefetchBus* bus = nullptr;
+  ChunkKey key;
+  bool active = false;
+  void release() {
+    if (active && bus != nullptr) bus->release_repo_fetch(key);
+    active = false;
+  }
+  ~RepoClaimGuard() { release(); }
+};
+
+}  // namespace
+
+/// Drops a device's inflight claim and pulses waiters — on normal
+/// completion, on error, and on coroutine-frame destruction (a killed
+/// snapshot/restore process), so no claim ever outlives its fetch.
+struct MirrorDevice::InflightGuard {
+  MirrorDevice* m;
+  std::uint64_t begin;
+  std::uint64_t end;
+  ~InflightGuard() {
+    m->inflight_.erase(begin, end);
+    m->fetch_done_.set();
+    m->fetch_done_.reset();
+  }
+};
+
+sim::Task<> MirrorDevice::materialize_chunk(std::uint64_t clo,
+                                            std::uint64_t chi,
+                                            const blob::ChunkLocation* loc,
+                                            bool announce) {
+  InflightGuard inflight{this, clo, chi};
+  const std::uint64_t len = chi - clo;
+  common::Buffer data;
+  // A leaf-less index or a Zero-encoded leaf is a hole: it materializes
+  // locally with no repository or peer transfer and no disk payload (the
+  // sparse local cache reads holes as zeros).
+  const bool hole = loc == nullptr || loc->id == 0 ||
+                    loc->encoding == blob::ChunkEncoding::Zero;
+  if (hole) {
+    zero_bytes_ += len;
+  } else {
+    const ChunkKey key = ChunkKey::of(*loc);
+    if (announce && bus_ != nullptr) bus_->announce(this, key, clo, len);
+    bool peer_sourced = false;
+    for (;;) {
+      // 1. Decoded once per node: any rank on this node already paid.
+      if (const common::Buffer* hit = node_cache().get(key)) {
+        data = *hit;
+        cache_hit_bytes_ += data.size();
+        break;
+      }
+      // 2. Peer copy: intra-deployment transfer instead of the repo.
+      if (bus_ != nullptr) {
+        if (auto peer = bus_->find_holder(key, host_)) {
+          // RAII: the holder's fan-out slot frees even if this copier is
+          // fail-stopped mid-transfer.
+          struct CopyGuard {
+            PrefetchBus* bus;
+            ChunkKey key;
+            net::NodeId node;
+            ~CopyGuard() { bus->finish_peer_copy(key, node); }
+          } copy_guard{bus_, key, peer->node};
+          co_await store_->fabric().transfer(peer->node, host_,
+                                             peer->data.size(),
+                                             bus_->peer_shape());
+          peer_bytes_fetched_ += peer->data.size();
+          data = std::move(peer->data);
+          peer_sourced = true;
+          break;
+        }
+      }
+      // 3. Repository fetch, single-flight per content key across the
+      //    deployment: the losers wait and take the peer copy instead.
+      if (bus_ == nullptr || bus_->claim_repo_fetch(key)) {
+        RepoClaimGuard claim{bus_, key, bus_ != nullptr};
+        bool fetch_failed = false;
+        try {
+          data = co_await client_.fetch_decoded(*loc);
+        } catch (...) {
+          fetch_failed = true;
+        }
+        if (fetch_failed) throw blob::BlobError("mirror fetch failed");
+        repo_wire_fetched_ += loc->size;
+        repo_logical_fetched_ += data.size();
+        if (data.size() < len) data.resize(len);  // version tail: zeros
+        node_cache().put(key, data);
+        if (bus_ != nullptr) bus_->publish(key, host_, &node_cache());
+        // Release only after publishing, so woken waiters find a holder.
+        claim.release();
+        break;
+      }
+      co_await bus_->wait_repo_fetch();
+    }
+    // The repo branch registered inline (its publish must precede the
+    // claim release); a cache hit is already resident. Only a peer copy
+    // still needs to enter this node's cache and holder registry.
+    if (peer_sourced) {
+      if (data.size() < len) data.resize(len);
+      node_cache().put(key, data);
+      if (bus_ != nullptr) bus_->publish(key, host_, &node_cache());
+    }
+    // Cached copies were padded by whoever produced them, but devices can
+    // differ in capacity clamp — pad locally, without re-entering the cache.
+    if (data.size() < len) data.resize(len);
+  }
+  // Only fill bytes that are still missing — a concurrent guest write
+  // must never be clobbered by stale backing content.
+  for (const common::Range& missing : available_.gaps(clo, chi)) {
+    if (!hole) {
+      cache_.write(missing.begin,
+                   data.slice(missing.begin - clo, missing.length()));
+    }
+    available_.insert(missing.begin, missing.end);
+  }
+  if (!hole) co_await disk_->write(stream_, clo, chi - clo);
+}
+
 sim::Task<> MirrorDevice::ensure_available(std::uint64_t begin,
                                            std::uint64_t end, bool announce) {
   end = std::min(end, cfg_.capacity);
   if (begin >= end) co_return;
+  const std::uint64_t cs = chunk_size();
   while (!available_.contains(begin, end)) {
-    const auto gaps = available_.gaps(begin, end);
-    assert(!gaps.empty());
-    const common::Range gap = gaps.front();
-    // If someone else is already fetching this gap, wait for progress.
-    const auto free_parts = inflight_.gaps(gap.begin, gap.end);
-    if (free_parts.empty()) {
+    // Claim the missing chunks of the chunk-aligned covering window that
+    // nobody else is materializing yet.
+    const std::uint64_t lo = begin / cs * cs;
+    const std::uint64_t hi = std::min((end + cs - 1) / cs * cs,
+                                      cfg_.capacity);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> claimed;
+    for (const common::Range& gap : available_.gaps(lo, hi)) {
+      const std::uint64_t first = gap.begin / cs;
+      const std::uint64_t last = (gap.end + cs - 1) / cs;
+      for (std::uint64_t idx = first; idx < last; ++idx) {
+        const std::uint64_t clo = idx * cs;
+        const std::uint64_t chi = std::min(clo + cs, cfg_.capacity);
+        if (available_.contains(clo, chi)) continue;
+        if (inflight_.gaps(clo, chi).empty()) continue;  // someone on it
+        inflight_.insert(clo, chi);
+        claimed.emplace_back(clo, chi);
+      }
+    }
+    if (claimed.empty()) {
+      // Everything missing is already in flight; wait for progress.
       co_await fetch_done_.wait();
       continue;
     }
-    const common::Range part = free_parts.front();
-    inflight_.insert(part.begin, part.end);
-    if (announce && bus_ != nullptr) {
-      bus_->announce(this, part.begin, part.end - part.begin);
-    }
-    common::Buffer data;
+    // Batch guard: a kill during resolve (or before a queued materialize
+    // job ever ran) must not leave claims behind. Each finished chunk's own
+    // guard already erased its range, so the second erase is a no-op.
+    struct BatchGuard {
+      MirrorDevice* m;
+      const std::vector<std::pair<std::uint64_t, std::uint64_t>>* claimed;
+      ~BatchGuard() {
+        for (const auto& [clo, chi] : *claimed) m->inflight_.erase(clo, chi);
+        m->fetch_done_.set();
+        m->fetch_done_.reset();
+      }
+    } batch_guard{this, &claimed};
+    // Resolve the claimed window to chunk identity tuples, then
+    // materialize each claimed chunk (window-limited like a client read).
+    std::vector<blob::BlobClient::ChunkRef> refs;
     bool failed = false;
     try {
-      data = co_await client_.read(backing_blob_, backing_version_,
-                                   part.begin, part.end - part.begin);
+      refs = co_await client_.resolve_chunks(
+          backing_blob_, backing_version_, claimed.front().first,
+          claimed.back().second - claimed.front().first);
     } catch (...) {
-      inflight_.erase(part.begin, part.end);
-      fetch_done_.set();
-      fetch_done_.reset();
       failed = true;
     }
     if (failed) throw blob::BlobError("mirror fetch failed");
-    if (data.size() < part.end - part.begin) {
-      data.resize(part.end - part.begin);  // backing hole reads zeros
+    std::unordered_map<std::uint64_t, const blob::ChunkLocation*> by_index;
+    by_index.reserve(refs.size());
+    for (const auto& r : refs) by_index[r.index] = &r.loc;
+    std::vector<sim::Task<>> jobs;
+    jobs.reserve(claimed.size());
+    for (const auto& [clo, chi] : claimed) {
+      const auto it = by_index.find(clo / cs);
+      jobs.push_back(materialize_chunk(
+          clo, chi, it == by_index.end() ? nullptr : it->second, announce));
     }
-    remote_fetched_ += data.size();
-    // Only fill bytes that are still missing — a concurrent guest write
-    // must never be clobbered by stale backing content.
-    for (const common::Range& missing :
-         available_.gaps(part.begin, part.end)) {
-      cache_.write(missing.begin,
-                   data.slice(missing.begin - part.begin, missing.length()));
-      available_.insert(missing.begin, missing.end);
+    try {
+      co_await sim::run_window(store_->simulation(),
+                               store_->config().read_window, std::move(jobs));
+    } catch (...) {
+      failed = true;
     }
-    co_await disk_->write(stream_, part.begin, part.end - part.begin);
-    inflight_.erase(part.begin, part.end);
-    // Pulse waiters.
-    fetch_done_.set();
-    fetch_done_.reset();
+    if (failed) throw blob::BlobError("mirror fetch failed");
   }
 }
 
@@ -233,6 +396,208 @@ sim::Task<> MirrorDevice::prefetch_worker(std::uint64_t begin,
   }
   (void)failed;
   prefetch_slots_->release();
+}
+
+sim::Task<std::vector<blob::BlobClient::ChunkRef>>
+MirrorDevice::resolve_backing_chunks() {
+  co_return co_await client_.resolve_chunks(backing_blob_, backing_version_,
+                                            0, cfg_.capacity);
+}
+
+void MirrorDevice::start_scheduled_prefetch(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges) {
+  if (ranges.empty()) return;
+  std::erase_if(prefetchers_,
+                [](const sim::ProcessPtr& p) { return !p || p->finished(); });
+  prefetchers_.push_back(store_->simulation().spawn(
+      "restart-prefetch", scheduled_prefetch_body(std::move(ranges))));
+}
+
+sim::Task<> MirrorDevice::scheduled_prefetch_body(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges) {
+  // Each range worker gates on prefetch_slots_, so at most
+  // prefetch_streams chunks are in flight while the order is preserved.
+  std::vector<sim::Task<>> jobs;
+  jobs.reserve(ranges.size());
+  for (const auto& [begin, end] : ranges) {
+    jobs.push_back(prefetch_worker(begin, end));
+  }
+  co_await sim::when_all(store_->simulation(), std::move(jobs));
+}
+
+// --- PrefetchBus -------------------------------------------------------------
+
+void PrefetchBus::detach(MirrorDevice* m) {
+  std::erase(*mirrors_, m);
+  if (m->own_cache_ != nullptr) {
+    // The device's private fallback cache dies with it; holder entries
+    // pointing at it must not dangle. Shared per-node caches are owned by
+    // the Cloud and outlive any device, so they stay registered.
+    DecodedChunkCache* dead = m->own_cache_.get();
+    for (auto it = holders_.begin(); it != holders_.end();) {
+      auto& vec = it->second;
+      std::erase_if(vec, [dead](const Holder& h) { return h.cache == dead; });
+      it = vec.empty() ? holders_.erase(it) : std::next(it);
+    }
+  }
+}
+
+void PrefetchBus::announce(MirrorDevice* self, const ChunkKey& key,
+                           std::uint64_t offset, std::uint64_t len) {
+  if (!announced_.insert(key).second) return;  // once per deployment
+  ++hints_sent_;
+  hinted_bytes_ += len;
+  for (MirrorDevice* m : *mirrors_) {
+    if (m == self) continue;
+    // The timer may outlive the bus or the device (failure mid-restart
+    // destroys instances with hints still queued): a weak reference to the
+    // attach list gates both — bus gone drops the hint, device gone means
+    // it is no longer listed.
+    std::weak_ptr<std::vector<MirrorDevice*>> alive = mirrors_;
+    sim_->call_in(cfg_.hint_latency, [alive, m, offset, len] {
+      const auto mirrors = alive.lock();
+      if (!mirrors) return;
+      if (std::find(mirrors->begin(), mirrors->end(), m) == mirrors->end())
+        return;
+      m->hint(offset, len);
+    });
+  }
+}
+
+void PrefetchBus::publish(const ChunkKey& key, net::NodeId node,
+                          DecodedChunkCache* cache) {
+  auto& vec = holders_[key];
+  for (const Holder& h : vec) {
+    if (h.node == node && h.cache == cache) return;
+  }
+  vec.push_back(Holder{node, cache});
+}
+
+void PrefetchBus::drop_node(net::NodeId node) {
+  for (auto it = holders_.begin(); it != holders_.end();) {
+    auto& vec = it->second;
+    std::erase_if(vec, [node](const Holder& h) { return h.node == node; });
+    it = vec.empty() ? holders_.erase(it) : std::next(it);
+  }
+}
+
+std::optional<PrefetchBus::PeerHit> PrefetchBus::find_holder(
+    const ChunkKey& key, net::NodeId self) {
+  const auto it = holders_.find(key);
+  if (it == holders_.end()) return std::nullopt;
+  auto& vec = it->second;
+  // `best` is a stable index: it only ever points at an already-visited
+  // valid entry, and swap-pop eviction only rewrites positions at or after
+  // the scan cursor, never an earlier index.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t best = kNone;
+  const common::Buffer* best_buf = nullptr;
+  for (std::size_t i = 0; i < vec.size();) {
+    if (vec[i].node == self) {
+      ++i;
+      continue;
+    }
+    const common::Buffer* buf = vec[i].cache->get(key);
+    if (buf == nullptr) {
+      // Evicted on the holder side: deregister and keep scanning.
+      vec[i] = vec.back();
+      vec.pop_back();
+      continue;
+    }
+    if (best == kNone || vec[i].active < vec[best].active) {
+      best = i;
+      best_buf = buf;  // stable: nothing puts into these caches mid-scan
+    }
+    ++i;
+  }
+  if (vec.empty()) {
+    holders_.erase(it);
+    return std::nullopt;
+  }
+  if (best == kNone || vec[best].active >= kPeerFanout) {
+    return std::nullopt;  // swarm oversubscribed: grow through the repo
+  }
+  ++vec[best].active;
+  ++peer_copies_;
+  return PeerHit{vec[best].node, *best_buf};
+}
+
+void PrefetchBus::finish_peer_copy(const ChunkKey& key, net::NodeId node) {
+  const auto it = holders_.find(key);
+  if (it != holders_.end()) {
+    for (Holder& h : it->second) {
+      if (h.node == node && h.active > 0) {
+        --h.active;
+        break;
+      }
+    }
+  }
+  // A freed fan-out slot is progress for anyone parked on this content.
+  repo_waiters_.notify_all();
+}
+
+sim::Task<> PrefetchBus::schedule_restart_prefetch(
+    std::uint64_t per_instance_budget) {
+  if (mirrors_->empty() || per_instance_budget == 0) co_return;
+  // Resolve every instance's backing window to chunk tuples, in parallel
+  // (this is metadata traffic only; it warms each client's node cache).
+  struct InstanceMap {
+    MirrorDevice* m = nullptr;
+    std::vector<blob::BlobClient::ChunkRef> refs;
+  };
+  auto maps = std::make_shared<std::vector<InstanceMap>>(mirrors_->size());
+  std::vector<sim::Task<>> resolves;
+  resolves.reserve(mirrors_->size());
+  for (std::size_t i = 0; i < mirrors_->size(); ++i) {
+    (*maps)[i].m = (*mirrors_)[i];
+    resolves.push_back(
+        [](MirrorDevice* m, InstanceMap* out) -> sim::Task<> {
+          out->refs = co_await m->resolve_backing_chunks();
+        }((*mirrors_)[i], &(*maps)[i]));
+  }
+  co_await sim::when_all(*sim_, std::move(resolves));
+
+  // Popularity: how many instances share each content identity.
+  std::unordered_map<ChunkKey, std::uint32_t, ChunkKeyHash> popularity;
+  for (const InstanceMap& im : *maps) {
+    for (const auto& r : im.refs) {
+      if (r.loc.id == 0 || r.loc.encoding == blob::ChunkEncoding::Zero)
+        continue;
+      ++popularity[ChunkKey::of(r.loc)];
+    }
+  }
+
+  for (std::size_t i = 0; i < maps->size(); ++i) {
+    InstanceMap& im = (*maps)[i];
+    std::vector<blob::BlobClient::ChunkRef>& refs = im.refs;
+    std::erase_if(refs, [](const blob::BlobClient::ChunkRef& r) {
+      return r.loc.id == 0 || r.loc.encoding == blob::ChunkEncoding::Zero;
+    });
+    std::stable_sort(refs.begin(), refs.end(),
+                     [&popularity](const auto& a, const auto& b) {
+                       return popularity[ChunkKey::of(a.loc)] >
+                              popularity[ChunkKey::of(b.loc)];
+                     });
+    const std::uint64_t cs = im.m->chunk_size();
+    // Rotate each instance's start so concurrent repository fetches spread
+    // over distinct popular chunks (the single-flight claim turns the rest
+    // into peer copies); globally the most-shared content still lands
+    // first.
+    const std::size_t rot =
+        refs.empty() ? 0 : (i * refs.size()) / maps->size();
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+    std::uint64_t budget = per_instance_budget;
+    for (std::size_t k = 0; k < refs.size(); ++k) {
+      const auto& r = refs[(k + rot) % refs.size()];
+      const std::uint64_t len = r.loc.logical();
+      if (len > budget) break;
+      budget -= len;
+      const std::uint64_t clo = r.index * cs;
+      ranges.emplace_back(clo,
+                          std::min(clo + len, im.m->capacity()));
+    }
+    im.m->start_scheduled_prefetch(std::move(ranges));
+  }
 }
 
 }  // namespace blobcr::core

@@ -317,6 +317,10 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
               });
         }
         for (std::size_t i = 0; i < n; ++i) co_await dep.vm(i).join_guests();
+        // Fresh mirrors per rollback: the counters cover this restart's
+        // lazy-fetch traffic (sampled before the next epoch adds copy-ups).
+        report->restart_repo_bytes += dep.boot_repo_bytes();
+        report->restart_peer_bytes += dep.boot_peer_bytes();
       } else {
         // Failure during the initial checkpoint: no rollback target exists,
         // so resubmit from scratch — a fresh deployment from the base image.

@@ -9,11 +9,16 @@ Fabric::Fabric(sim::Simulation& sim, const Config& cfg)
       ports_rx_(cfg.node_count) {}
 
 sim::Task<> Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes) {
+  co_await transfer(src, dst, bytes, Shape{});
+}
+
+sim::Task<> Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                             Shape shape) {
   assert(src < ports_tx_.size() && dst < ports_rx_.size());
-  co_await sim_->delay(cfg_.latency);
+  co_await sim_->delay(shape.latency > 0 ? shape.latency : cfg_.latency);
   if (src == dst || bytes == 0) co_return;  // loopback: memory copy, no NIC
   total_bytes_ += bytes;
-  co_await FlowAwaiter(*this, src, dst, bytes);
+  co_await FlowAwaiter(*this, src, dst, bytes, shape.rate_cap_bps);
 }
 
 sim::Task<> Fabric::message(NodeId src, NodeId dst) {
@@ -26,7 +31,8 @@ double Fabric::FlowAwaiter::fair_rate() const {
                           static_cast<double>(fab_->ports_tx_[src_].flows.size());
   const double rx_share = fab_->cfg_.nic_bandwidth_bps /
                           static_cast<double>(fab_->ports_rx_[dst_].flows.size());
-  return tx_share < rx_share ? tx_share : rx_share;
+  const double share = tx_share < rx_share ? tx_share : rx_share;
+  return (rate_cap_ > 0 && rate_cap_ < share) ? rate_cap_ : share;
 }
 
 void Fabric::settle_and_retime(FlowAwaiter* f) {

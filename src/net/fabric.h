@@ -33,9 +33,26 @@ class Fabric {
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
+  /// Per-transfer shaping: lets a traffic class run with its own one-way
+  /// latency and an application-level rate cap on top of the NIC fair
+  /// share. The restart data plane uses this to model intra-deployment
+  /// peer copies distinctly from repository transfers.
+  struct Shape {
+    /// Overrides the fabric's default one-way latency when non-zero.
+    sim::Duration latency = 0;
+    /// Caps this flow's instantaneous rate (bps); 0 = NIC-limited only.
+    double rate_cap_bps = 0;
+  };
+
   /// Moves `bytes` from src to dst: one-way latency plus fluid bandwidth
   /// share. Loopback (src == dst) pays latency only.
   sim::Task<> transfer(NodeId src, NodeId dst, std::uint64_t bytes);
+
+  /// Shaped variant: same fluid model, but the flow pays `shape.latency`
+  /// (when set) and never exceeds `shape.rate_cap_bps` (when set) even if
+  /// its NIC fair share is larger.
+  sim::Task<> transfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                       Shape shape);
 
   /// Small control message (latency + negligible payload).
   sim::Task<> message(NodeId src, NodeId dst);
@@ -67,12 +84,14 @@ class Fabric {
 
 class Fabric::FlowAwaiter : public sim::Blocker {
  public:
-  FlowAwaiter(Fabric& f, NodeId src, NodeId dst, std::uint64_t bytes)
+  FlowAwaiter(Fabric& f, NodeId src, NodeId dst, std::uint64_t bytes,
+              double rate_cap_bps = 0)
       : fab_(&f),
         src_(src),
         dst_(dst),
         remaining_(static_cast<double>(bytes)),
-        bytes_(bytes) {}
+        bytes_(bytes),
+        rate_cap_(rate_cap_bps) {}
 
   bool await_ready() const noexcept { return bytes_ == 0; }
   void await_suspend(std::coroutine_handle<> h);
@@ -90,6 +109,7 @@ class Fabric::FlowAwaiter : public sim::Blocker {
   NodeId dst_;
   double remaining_;
   std::uint64_t bytes_;
+  double rate_cap_ = 0;  // 0 = uncapped
   double rate_ = 0;
   std::uint64_t retime_gen_ = 0;
   sim::Time last_update_ = 0;

@@ -26,9 +26,15 @@ class ServiceQueue {
 
   sim::Task<> process(sim::Duration cost) {
     co_await workers_.acquire();
+    // RAII: a client process fail-stopped mid-request (crash harness, FT
+    // injection) must return the worker, or a 1-worker service — the
+    // version and provider managers — is wedged for every later caller.
+    struct Permit {
+      sim::Semaphore* workers;
+      ~Permit() { workers->release(); }
+    } permit{&workers_};
     ++requests_;
     co_await sim_->delay(cost);
-    workers_.release();
   }
 
   std::uint64_t requests_served() const { return requests_; }

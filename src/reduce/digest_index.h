@@ -63,7 +63,12 @@ class ChunkDigestIndex {
               const blob::ChunkLocation& loc) {
     const Key key{digest, raw_size};
     if (!by_chunk_.try_emplace(loc.id, key).second) return;  // known chunk
-    entries_[key].push_back(loc);
+    // Stamp the content digest on the indexed location: dedup Refs copy it
+    // into their leaves, so the restart data plane can recognize identical
+    // content across ChunkIds (peer exchange / decoded-chunk cache keys).
+    blob::ChunkLocation stamped = loc;
+    stamped.digest = digest;
+    entries_[key].push_back(std::move(stamped));
   }
 
   /// Invalidation (GC reclaim, failed-commit withdrawal): drops every
