@@ -96,6 +96,7 @@ int main() {
   cloud.run([](core::Cloud* cl, bool* ok) -> Task<> {
     co_await cl->provision_base_image();
     core::Deployment dep(*cl, kVms);
+    cr::Session session(dep);
     co_await dep.deploy_and_boot();
     dep.mpi().set_size(kRanks);
     std::printf("[t=%8.3fs] %d CM1 ranks on %zu VMs booted\n",
@@ -114,14 +115,15 @@ int main() {
     }
     for (std::size_t i = 0; i < kVms; ++i) co_await dep.vm(i).join_guests();
 
-    const core::GlobalCheckpoint ckpt = dep.collect_last_snapshots();
+    (void)co_await session.commit_last("iteration-20");
     std::printf("[t=%8.3fs] NODE FAILURE: losing instance 0's machine "
                 "(VM + its data provider)\n",
                 sim::to_seconds(cl->simulation().now()));
     dep.fail_instance(0);
     dep.destroy_all();
 
-    co_await dep.restart_from(ckpt, /*node_offset=*/kVms + 1);
+    (void)co_await session.restart(cr::Selector::latest(),
+                                   /*node_offset=*/kVms + 1);
     std::printf("[t=%8.3fs] restarted from checkpoint on fresh nodes\n",
                 sim::to_seconds(cl->simulation().now()));
 

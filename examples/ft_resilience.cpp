@@ -44,7 +44,10 @@ ft::FtReport run_backend(core::Backend backend, double tau_s) {
   job.step = 15 * sim::kSecond;
   job.state_bytes = 24 * common::kMB;
   job.repair_after_restart = backend == core::Backend::BlobCR;
-  job.gc_keep_last = backend == core::Backend::BlobCR ? 1 : 0;
+  // Catalog retention: keep only the rollback target; older checkpoints
+  // retire and their snapshot versions (BlobCR) / PVFS copies (qcow2-disk)
+  // are reclaimed.
+  job.retention.keep_last = 1;
   // Same failure schedule for both backends: node MTBF of one hour.
   job.failures = ft::FailureSchedule::sample(
       ft::FailureLaw::exponential(3600.0), job.instances,

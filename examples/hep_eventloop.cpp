@@ -61,6 +61,7 @@ int main() {
   cloud.run([](core::Cloud* cl, std::vector<PerVm>* out) -> Task<> {
     co_await cl->provision_base_image();
     core::Deployment dep(*cl, kVms);
+    cr::Session session(dep);
     banner(*cl, "deploying 2 VMs, one event-processing rank each");
     co_await dep.deploy_and_boot();
 
@@ -90,11 +91,12 @@ int main() {
     for (std::size_t i = 0; i < kVms; ++i) co_await dep.vm(i).join_guests();
     banner(*cl, "checkpoint taken at event 800; run continued to 1600");
 
-    const core::GlobalCheckpoint ckpt = dep.collect_last_snapshots();
+    (void)co_await session.commit_last("event-800");
     dep.destroy_all();
     banner(*cl, "fail-stop: all instances and their disks are gone");
 
-    co_await dep.restart_from(ckpt, /*node_offset=*/kVms);
+    (void)co_await session.restart(cr::Selector::latest(),
+                                   /*node_offset=*/kVms);
     banner(*cl, "restarted from disk snapshots on fresh nodes");
 
     sim::Barrier phase2(cl->simulation(), kVms + 1);

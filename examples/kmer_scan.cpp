@@ -62,6 +62,7 @@ int main() {
     co_await cl->provision_base_image();
     out->image_size = cl->image_size();
     core::Deployment dep(*cl, 2);
+    cr::Session session(dep);
     banner(*cl, "deploying 2 VMs; the 8 MB reference ships with the image");
     co_await dep.deploy_and_boot();
     out->boot_fetch = dep.boot_remote_bytes();
@@ -86,10 +87,10 @@ int main() {
     out->half_fetch = dep.boot_remote_bytes();
     banner(*cl, "half-scan done, checkpointed (sketch table + scan cursor)");
 
-    const core::GlobalCheckpoint ckpt = dep.collect_last_snapshots();
+    (void)co_await session.commit_last("half-scan");
     dep.destroy_all();
     banner(*cl, "fail-stop");
-    co_await dep.restart_from(ckpt, /*node_offset=*/2);
+    (void)co_await session.restart(cr::Selector::latest(), /*node_offset=*/2);
     banner(*cl, "restarted on fresh nodes (lazy fetch, no full image copy)");
 
     sim::Barrier phase2(cl->simulation(), 3);

@@ -2,8 +2,9 @@
 //
 // Provisions a small cloud, deploys two VM instances from a base image,
 // runs a guest workload that writes files, takes a global checkpoint
-// through the node-local proxies, destroys everything (simulated failure),
-// restarts from the snapshots on different nodes, and verifies that
+// through the cr::Session control plane (node-local proxies underneath),
+// destroys everything (simulated failure), restarts from the cataloged
+// checkpoint on different nodes, and verifies that
 //   (a) the checkpointed state is back, bit for bit, and
 //   (b) file-system writes made after the checkpoint were rolled back.
 //
@@ -19,9 +20,7 @@ using sim::Task;
 namespace {
 
 void banner(const core::Cloud& cloud, const char* msg) {
-  std::printf("[t=%8.3fs] %s\n",
-              sim::to_seconds(const_cast<core::Cloud&>(cloud).simulation().now()),
-              msg);
+  std::printf("[t=%8.3fs] %s\n", sim::to_seconds(cloud.now()), msg);
 }
 
 }  // namespace
@@ -43,6 +42,7 @@ int main() {
     co_await cl->provision_base_image();
 
     core::Deployment dep(*cl, 2);
+    cr::Session session(dep);
     banner(*cl, "multi-deploying 2 VM instances (lazy fetch + boot)");
     co_await dep.deploy_and_boot();
     banner(*cl, "booted");
@@ -58,11 +58,11 @@ int main() {
     }
     banner(*cl, "guest state written and synced");
 
-    const core::GlobalCheckpoint ckpt = co_await dep.checkpoint_all();
-    std::printf("             checkpointed %zu instances, %.2f MB total "
-                "(incremental snapshots)\n",
-                ckpt.snapshots.size(),
-                static_cast<double>(ckpt.total_bytes()) / 1e6);
+    const cr::CheckpointRecord rec = co_await session.checkpoint("quickstart");
+    std::printf("             checkpoint %llu committed: %zu instances, "
+                "%.2f MB total (incremental snapshots)\n",
+                static_cast<unsigned long long>(rec.id), rec.snapshots.size(),
+                static_cast<double>(rec.total_bytes()) / 1e6);
 
     // Post-checkpoint I/O that the restore must roll back.
     for (std::size_t i = 0; i < dep.size(); ++i) {
@@ -77,8 +77,10 @@ int main() {
     dep.destroy_all();
     banner(*cl, "all instances failed (fail-stop)");
 
-    co_await dep.restart_from(ckpt, /*node_offset=*/2);
-    banner(*cl, "restarted from snapshots on different nodes");
+    // The catalog — repository state, not driver memory — names the last
+    // complete global checkpoint; restart selects it.
+    (void)co_await session.restart(cr::Selector::latest(), /*node_offset=*/2);
+    banner(*cl, "restarted from the cataloged checkpoint on different nodes");
 
     const Buffer state = co_await dep.vm(0).fs()->read_file("/data/state.bin");
     *ok = (state == Buffer::pattern(1'000'000, 0));

@@ -36,6 +36,7 @@ int main() {
                reduce::ReductionStats* stats) -> Task<> {
     co_await cl->provision_base_image();
     core::Deployment dep(*cl, 2);
+    cr::Session session(dep);
     co_await dep.deploy_and_boot();
 
     const Buffer shared = Buffer::pattern(2'000'000, 7);  // same on both VMs
@@ -68,10 +69,10 @@ int main() {
       // Snapshot the ranks one after the other: the first rank's commit
       // populates the shared digest index, the second rank's identical
       // dirty chunks dedup against it (cross-rank reduction).
-      core::GlobalCheckpoint ckpt;
       for (std::size_t i = 0; i < dep.size(); ++i) {
-        ckpt.snapshots.push_back(co_await dep.snapshot_instance(i));
+        (void)co_await dep.snapshot_instance(i);
       }
+      (void)co_await session.commit_last();
       const reduce::ReductionStats ep = dep.reducer()->epoch_stats();
       std::printf(
           "checkpoint %d: %.2f MB raw -> %.2f MB shipped "
@@ -84,7 +85,8 @@ int main() {
         *stats = dep.reducer()->stats();
         // Full restart from the reduced snapshots: every byte must be back.
         dep.destroy_all();
-        co_await dep.restart_from(ckpt, /*node_offset=*/2);
+        (void)co_await session.restart(cr::Selector::latest(),
+                                       /*node_offset=*/2);
         const Buffer back =
             co_await dep.vm(1).fs()->read_file("/data/shared.bin");
         const Buffer zero_back =

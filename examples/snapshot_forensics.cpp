@@ -1,7 +1,9 @@
 // snapshot_forensics: the paper's §3.2 side feature — because checkpoint
-// images are first-class blobs (clone + shadowing), a user can take any
-// snapshot version, mount it OFFLINE (no VM), inspect the guest's files,
-// even diff two checkpoint generations of the same instance.
+// images are first-class blobs (clone + shadowing) *and* checkpoints are
+// first-class catalog records, a user can list every checkpoint a
+// repository holds (even ones this driver never took), mount any version
+// OFFLINE (no VM), inspect the guest's files, and diff two checkpoint
+// generations of the same instance.
 //
 // Build & run:  ./build/examples/snapshot_forensics
 #include <cstdio>
@@ -42,34 +44,52 @@ int main() {
   cloud.run([](core::Cloud* cl) -> Task<> {
     co_await cl->provision_base_image();
     core::Deployment dep(*cl, 1);
+    cr::Session session(dep);
     co_await dep.deploy_and_boot();
 
-    // Two application generations -> two snapshot versions.
+    // Two application generations -> two cataloged checkpoints.
     guestfs::SimpleFs* fs = dep.vm(0).fs();
     co_await fs->write_file("/data/results.txt",
                             Buffer::from_string("generation 1 results\n"));
     co_await fs->sync();
-    const core::InstanceSnapshot s1 = co_await dep.snapshot_instance(0);
+    (void)co_await session.checkpoint("gen1");
 
     co_await fs->write_file("/data/results.txt",
                             Buffer::from_string("generation 2 results\n"));
     co_await fs->write_file("/data/extra.dat", Buffer::pattern(64 * 1024, 7));
     co_await fs->sync();
-    const core::InstanceSnapshot s2 = co_await dep.snapshot_instance(0);
+    (void)co_await session.checkpoint("gen2");
 
-    std::printf("checkpoint image blob id %llu, versions v%u and v%u\n\n",
-                static_cast<unsigned long long>(s1.image), s1.version,
-                s2.version);
+    // Forensic listing through a FRESH catalog — only repository state, as
+    // a new driver (or an auditor) after total loss would see it.
+    cr::Catalog catalog(*cl);
+    const std::vector<cr::CheckpointRecord> records =
+        co_await catalog.list();
+    std::printf("checkpoint catalog (%zu records):\n", records.size());
+    for (const cr::CheckpointRecord& rec : records) {
+      std::printf("  #%llu  parent=%llu  state=%-10s tag=%-6s %zu "
+                  "instance(s), %.1f KB\n",
+                  static_cast<unsigned long long>(rec.id),
+                  static_cast<unsigned long long>(rec.parent),
+                  cr::record_state_name(rec.state),
+                  rec.tag.empty() ? "-" : rec.tag.c_str(),
+                  rec.snapshots.size(),
+                  static_cast<double>(rec.total_bytes()) / 1e3);
+    }
+    std::printf("\n");
 
     // Offline inspection: no VM involved, snapshots mounted like disks.
-    for (const core::InstanceSnapshot& snap : {s1, s2}) {
+    for (const cr::CheckpointRecord& rec : records) {
+      const core::InstanceSnapshot& snap = rec.snapshots.at(0);
       core::MirrorDevice* dev = nullptr;
       auto snap_fs = co_await mount_snapshot(cl, &dev, snap.image,
                                              snap.version);
       const Buffer results = co_await snap_fs->read_file("/data/results.txt");
-      std::printf("v%u:/data/results.txt -> %s", snap.version,
+      std::printf("#%llu (%s) :/data/results.txt -> %s",
+                  static_cast<unsigned long long>(rec.id), rec.tag.c_str(),
                   results.to_string().c_str());
-      std::printf("v%u:/data contains:", snap.version);
+      std::printf("#%llu :/data contains:",
+                  static_cast<unsigned long long>(rec.id));
       for (const std::string& name : snap_fs->readdir("/data")) {
         std::printf(" %s", name.c_str());
       }

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/strutil.h"
+#include "cr/session.h"
 #include "mpi/blcr.h"
 #include "mpi/coordinated.h"
 #include "sim/when_all.h"
@@ -15,7 +16,6 @@ namespace blobcr::apps {
 using core::Backend;
 using core::Cloud;
 using core::Deployment;
-using core::GlobalCheckpoint;
 using sim::Task;
 
 const char* mode_name(CkptMode mode) {
@@ -107,6 +107,7 @@ Task<> synthetic_driver(Cloud* cloud, SyntheticRun run, CkptMode mode,
   sim::Simulation& sim = cloud->simulation();
   co_await cloud->provision_base_image();
   Deployment dep(*cloud, run.instances);
+  cr::Session session(dep);  // checkpoint identity lives in the catalog
   sim::Time t0 = sim.now();
   co_await dep.deploy_and_boot();
   result->deploy_time = sim.now() - t0;
@@ -135,19 +136,18 @@ Task<> synthetic_driver(Cloud* cloud, SyntheticRun run, CkptMode mode,
       (void)co_await dep.checkpoint_all();
     }
     co_await end_bar.arrive_and_wait();
-    // Async pipeline: the round completes when every staged snapshot has
-    // published, not merely staged.
-    for (std::size_t i = 0; i < run.instances; ++i) {
-      co_await dep.wait_drained(i);
-    }
+    // Commit the round's line to the catalog. commit_last waits out every
+    // instance's drain first (async pipeline: the round completes when
+    // every staged snapshot has *published*), so the round's record is a
+    // complete global checkpoint.
+    const cr::CheckpointRecord rec = co_await session.commit_last();
     result->checkpoint_times.push_back(sim.now() - t0);
-    const GlobalCheckpoint last = dep.collect_last_snapshots();
     sim::Duration blocked = 0;
-    for (const core::InstanceSnapshot& s : last.snapshots) {
+    for (const core::InstanceSnapshot& s : rec.snapshots) {
       blocked = std::max(blocked, s.vm_downtime);
     }
     result->checkpoint_blocked_times.push_back(blocked);
-    result->snapshot_bytes_per_vm.push_back(last.total_bytes() /
+    result->snapshot_bytes_per_vm.push_back(rec.total_bytes() /
                                             run.instances);
     result->repo_growth.push_back(cloud->repository_bytes() - repo_baseline);
   }
@@ -156,14 +156,14 @@ Task<> synthetic_driver(Cloud* cloud, SyntheticRun run, CkptMode mode,
   }
 
   if (run.do_restart) {
-    const GlobalCheckpoint ckpt = dep.collect_last_snapshots();
     dep.destroy_all();
-    // §4.3.1 restarts on different nodes with no local state left behind:
-    // cold caches, so every byte comes from the repository or from peers
-    // restarting alongside.
-    dep.forget_node_caches();
     t0 = sim.now();
-    co_await dep.restart_from(ckpt, run.restart_shift);
+    // §4.3.1 restarts on different nodes with no local state left behind:
+    // cold caches (every byte comes from the repository or from peers
+    // restarting alongside), and the restart target is whatever the
+    // catalog says was the last complete global checkpoint.
+    (void)co_await session.restart(cr::Selector::latest(), run.restart_shift,
+                                   /*cold_caches=*/true);
     if (mode != CkptMode::FullVm) {
       for (std::size_t i = 0; i < run.instances; ++i) {
         dep.vm(i).start_guest(
@@ -216,9 +216,9 @@ std::pair<int, int> process_grid(int n) {
   return {px, n / px};
 }
 
-Task<> cm1_rank_body(Deployment* dep, Cm1Run run, Cm1Config cfg,
-                     CkptMode mode, std::size_t vm_index, int rank,
-                     sim::Barrier* start_bar, sim::Barrier* end_bar,
+Task<> cm1_rank_body(Deployment* dep, cr::Session* session, Cm1Run run,
+                     Cm1Config cfg, CkptMode mode, std::size_t vm_index,
+                     int rank, sim::Barrier* start_bar, sim::Barrier* end_bar,
                      std::shared_ptr<Cm1Shared> shared,
                      vm::GuestProcess* gp) {
   dep->mpi().register_rank(rank, gp);
@@ -251,6 +251,14 @@ Task<> cm1_rank_body(Deployment* dep, Cm1Run run, Cm1Config cfg,
       co_await dep->wait_drained(vm_index);
     };
   }
+  // The protocol itself publishes the checkpoint to the catalog (stage
+  // after the snapshot barrier, Complete after the drains).
+  hooks.stage_record = [session]() -> Task<> {
+    co_await session->stage_last();
+  };
+  hooks.publish_record = [session]() -> Task<> {
+    (void)co_await session->publish_staged();
+  };
   co_await mpi::coordinated_checkpoint(dep->mpi().comm(rank), hooks);
   co_await end_bar->arrive_and_wait();
 }
@@ -280,6 +288,7 @@ Task<> cm1_driver(Cloud* cloud, Cm1Run run, CkptMode mode,
   sim::Simulation& sim = cloud->simulation();
   co_await cloud->provision_base_image();
   Deployment dep(*cloud, run.vms);
+  cr::Session session(dep);
   sim::Time t0 = sim.now();
   co_await dep.deploy_and_boot();
   result->deploy_time = sim.now() - t0;
@@ -302,12 +311,13 @@ Task<> cm1_driver(Cloud* cloud, Cm1Run run, CkptMode mode,
     for (int k = 0; k < run.ranks_per_vm; ++k) {
       const int rank = static_cast<int>(i) * run.ranks_per_vm + k;
       Deployment* dp = &dep;
+      cr::Session* sp = &session;
       dep.vm(i).start_guest(
           common::strf("rank%d", rank),
-          [dp, run, cfg, mode, i, rank, &start_bar, &end_bar,
+          [dp, sp, run, cfg, mode, i, rank, &start_bar, &end_bar,
            shared](vm::GuestProcess& gp) -> Task<> {
-            co_await cm1_rank_body(dp, run, cfg, mode, i, rank, &start_bar,
-                                   &end_bar, shared, &gp);
+            co_await cm1_rank_body(dp, sp, run, cfg, mode, i, rank,
+                                   &start_bar, &end_bar, shared, &gp);
           });
     }
   }
@@ -316,22 +326,24 @@ Task<> cm1_driver(Cloud* cloud, Cm1Run run, CkptMode mode,
   t0 = sim.now();
   co_await end_bar.arrive_and_wait();
   result->checkpoint_times.push_back(sim.now() - t0);
-  const GlobalCheckpoint snaps = dep.collect_last_snapshots();
+  // The coordinated protocol's epoch leader committed the round's catalog
+  // record before any rank passed the final barrier.
+  const cr::CheckpointRecord rec = session.last_committed().value();
   sim::Duration blocked = 0;
-  for (const core::InstanceSnapshot& s : snaps.snapshots) {
+  for (const core::InstanceSnapshot& s : rec.snapshots) {
     blocked = std::max(blocked, s.vm_downtime);
   }
   result->checkpoint_blocked_times.push_back(blocked);
-  result->snapshot_bytes_per_vm.push_back(snaps.total_bytes() / run.vms);
+  result->snapshot_bytes_per_vm.push_back(rec.total_bytes() / run.vms);
   result->repo_growth.push_back(cloud->repository_bytes() - repo_baseline);
   for (std::size_t i = 0; i < run.vms; ++i) co_await dep.vm(i).join_guests();
 
   if (run.do_restart) {
-    const GlobalCheckpoint ckpt = dep.collect_last_snapshots();
     dep.destroy_all();
-    dep.forget_node_caches();  // cold restart on different nodes (§4.4)
     t0 = sim.now();
-    co_await dep.restart_from(ckpt, run.restart_shift);
+    // Cold restart on different nodes (§4.4), selected from the catalog.
+    (void)co_await session.restart(cr::Selector::latest(), run.restart_shift,
+                                   /*cold_caches=*/true);
     for (std::size_t i = 0; i < run.vms; ++i) {
       for (int k = 0; k < run.ranks_per_vm; ++k) {
         const int rank = static_cast<int>(i) * run.ranks_per_vm + k;

@@ -1,7 +1,9 @@
 // Scenarios: reusable end-to-end experiment drivers matching the paper's
 // methodology (§4.2/§4.3/§4.4). Benchmarks, examples and integration tests
 // all run through these, so every figure regenerates from the same code
-// paths a library user would call.
+// paths a library user would call. Checkpoints commit to — and restarts
+// select from — the cr::Session control plane (src/cr/), exactly like the
+// FT runner.
 #pragma once
 
 #include <cstdint>

@@ -90,6 +90,14 @@ sim::Task<BlobMeta> BlobClient::stat(BlobId blob) {
   co_return meta;
 }
 
+sim::Task<> BlobClient::bind_name(const std::string& name, BlobId id) {
+  co_await store_->version_manager().bind_name(node_, name, id);
+}
+
+sim::Task<BlobId> BlobClient::lookup_name(const std::string& name) {
+  co_return co_await store_->version_manager().lookup_name(node_, name);
+}
+
 sim::Task<BlobClient::VersionEntry> BlobClient::resolve(BlobId blob,
                                                         VersionId& version) {
   if (version != 0) {

@@ -58,6 +58,13 @@ class BlobClient {
   sim::Task<BlobId> clone(BlobId src, VersionId v);
   sim::Task<BlobMeta> stat(BlobId blob);
 
+  /// Named-blob registry on the version manager: well-known control-plane
+  /// entry points (the checkpoint catalog) publish their blob id under a
+  /// name so a fresh driver can discover them. lookup_name returns 0 for
+  /// an unbound name.
+  sim::Task<> bind_name(const std::string& name, BlobId id);
+  sim::Task<BlobId> lookup_name(const std::string& name);
+
   /// Writes one extent as a new version. Offset must be chunk-aligned.
   sim::Task<VersionId> write(BlobId blob, std::uint64_t offset,
                              common::Buffer data);

@@ -109,6 +109,31 @@ class VersionManager {
     co_return lookup(blob);
   }
 
+  /// Named-blob registry: the control plane's well-known entry points (e.g.
+  /// the checkpoint catalog) bind a name to a blob id so a fresh client —
+  /// a new driver process after total loss — can discover repository-
+  /// resident state it never created. Last bind wins; names are never
+  /// implicitly unbound.
+  sim::Task<> bind_name(net::NodeId client, const std::string& name,
+                        BlobId id) {
+    co_await round_trip(client);
+    if (!exists(id)) throw BlobError("bind_name to unknown blob");
+    names_[name] = id;
+  }
+
+  /// Resolves a bound name; 0 when the name was never bound.
+  sim::Task<BlobId> lookup_name(net::NodeId client, const std::string& name) {
+    co_await round_trip(client);
+    const auto it = names_.find(name);
+    co_return it == names_.end() ? 0 : it->second;
+  }
+
+  /// In-process peek at the registry (tests, bookkeeping).
+  BlobId peek_name(const std::string& name) const {
+    const auto it = names_.find(name);
+    return it == names_.end() ? 0 : it->second;
+  }
+
   /// Zero-cost accessors for in-process bookkeeping (benchmark harness,
   /// garbage collector) — not part of the simulated client protocol.
   const BlobMeta& peek(BlobId blob) const {
@@ -148,6 +173,7 @@ class VersionManager {
   net::ServiceQueue service_;
   BlobId next_blob_id_ = 1;
   std::unordered_map<BlobId, BlobMeta> blobs_;
+  std::unordered_map<std::string, BlobId> names_;
 };
 
 }  // namespace blobcr::blob

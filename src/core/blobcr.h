@@ -3,6 +3,9 @@
 
 #include "core/cloud.h"          // IWYU pragma: export
 #include "core/mirror_device.h"  // IWYU pragma: export
+#include "cr/catalog.h"          // IWYU pragma: export
+#include "cr/checkpoint.h"       // IWYU pragma: export
+#include "cr/session.h"          // IWYU pragma: export
 #include "core/proxy.h"          // IWYU pragma: export
 #include "core/qcow_proxy.h"     // IWYU pragma: export
 #include "core/rest_proxy.h"     // IWYU pragma: export

@@ -464,7 +464,7 @@ void Deployment::kill_restart_scheduler() {
   restart_scheduler_ = nullptr;
 }
 
-sim::Task<> Deployment::restart_from(GlobalCheckpoint ckpt,
+sim::Task<> Deployment::restart_from(const GlobalCheckpoint& ckpt,
                                      std::size_t node_offset) {
   kill_restart_scheduler();  // it references the mirrors cleared below
   destroy_all();

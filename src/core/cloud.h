@@ -118,6 +118,10 @@ class Cloud {
   ~Cloud();
 
   sim::Simulation& simulation() { return sim_; }
+  const sim::Simulation& simulation() const { return sim_; }
+  /// Current simulated time, readable from const contexts (status banners,
+  /// record stamping) without reaching through the mutable simulation.
+  sim::Time now() const { return sim_.now(); }
   const CloudConfig& config() const { return cfg_; }
   net::Fabric& fabric() { return *fabric_; }
   blob::BlobStore* blob_store() { return blob_.get(); }
@@ -226,6 +230,7 @@ class Deployment {
   ~Deployment();
 
   std::size_t size() const { return count_; }
+  Cloud& cloud() const { return *cloud_; }
   Instance& instance(std::size_t i) { return *instances_.at(i); }
   vm::VmInstance& vm(std::size_t i) { return *instances_.at(i)->vm; }
   mpi::MpiWorld& mpi() { return *mpi_; }
@@ -255,7 +260,9 @@ class Deployment {
   sim::Task<GlobalCheckpoint> checkpoint_all();
 
   /// The most recent snapshot of every instance — the globally consistent
-  /// line the middleware would pick for a restart.
+  /// line the middleware would pick for a restart. Mechanism layer:
+  /// drivers go through cr::Session, which records this line durably in
+  /// the checkpoint catalog instead of holding it in memory.
   GlobalCheckpoint collect_last_snapshots() const;
 
   /// Kills all instances (termination or simulated global failure).
@@ -273,8 +280,11 @@ class Deployment {
   /// Tears down whatever is left and re-deploys every instance from its
   /// snapshot in `ckpt`, shifted to fresh nodes, booting in parallel.
   /// For BlobCR/qcow2-disk instances this reboots the guest OS; qcow2-full
-  /// resumes from the full VM snapshot without a reboot.
-  sim::Task<> restart_from(GlobalCheckpoint ckpt, std::size_t node_offset);
+  /// resumes from the full VM snapshot without a reboot. `ckpt` must stay
+  /// alive until the task completes (each instance copies only its own
+  /// snapshot; the checkpoint is no longer deep-copied per rollback).
+  sim::Task<> restart_from(const GlobalCheckpoint& ckpt,
+                           std::size_t node_offset);
 
   /// Migrates one instance to `target` through a disk snapshot (§3.1.3:
   /// snapshots "are much easier to migrate" than difference files). The

@@ -1,0 +1,258 @@
+#include "cr/session.h"
+
+#include <algorithm>
+#include <exception>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "blob/gc.h"
+#include "blob/store.h"
+#include "pfs/pvfs.h"
+
+namespace blobcr::cr {
+
+using core::Deployment;
+using sim::Task;
+
+Session::Session(Deployment& deployment, Config cfg)
+    : dep_(&deployment),
+      cfg_(std::move(cfg)),
+      catalog_(deployment.cloud(), cfg_.catalog) {}
+
+Task<> Session::init_lineage() {
+  co_await catalog_.open();
+  if (lineage_init_) co_return;
+  lineage_init_ = true;
+  // A fresh session descends from whatever the repository says was the last
+  // complete line (0 on a virgin repository).
+  for (const CheckpointRecord& rec : catalog_.records()) {
+    if (rec.selectable()) lineage_head_ = rec.id;
+  }
+}
+
+Task<> Session::mark_incomplete(CheckpointId id) {
+  for (const CheckpointRecord& rec : catalog_.records()) {
+    if (rec.id != id || rec.state != RecordState::Staged) continue;
+    CheckpointRecord dead = rec;
+    dead.state = RecordState::Incomplete;
+    co_await catalog_.update(std::move(dead));
+    co_return;
+  }
+}
+
+Task<> Session::stage_last(std::string tag) {
+  co_await init_lineage();
+  // A dangling staged record (its epoch failed before publishing) can never
+  // complete — supersede it before staging the new line.
+  if (staged_ != 0) {
+    co_await mark_incomplete(staged_);
+    staged_ = 0;
+  }
+  CheckpointRecord rec;
+  rec.parent = lineage_head_;
+  rec.tag = std::move(tag);
+  rec.snapshots = dep_->collect_last_snapshots().snapshots;
+  rec = co_await catalog_.stage(std::move(rec));
+  staged_ = rec.id;
+}
+
+Task<CheckpointRecord> Session::publish_staged() {
+  if (staged_ == 0)
+    throw CrError("publish_staged: no checkpoint record is staged");
+  CheckpointRecord rec;
+  bool found = false;
+  for (const CheckpointRecord& r : catalog_.records()) {
+    if (r.id == staged_) {
+      rec = r;
+      found = true;
+      break;
+    }
+  }
+  if (!found) throw CrError("staged checkpoint record vanished from catalog");
+
+  // Refresh the tuples: provisional (async) snapshots recorded bytes == 0
+  // at stage time; the published version records know their sizes now.
+  rec.snapshots = dep_->collect_last_snapshots().snapshots;
+
+  // A record is Complete only when every snapshot is *published*. Callers
+  // must have drained first (the protocol's drain barrier / commit_last);
+  // finding a still-pending version here means the line is not global.
+  blob::BlobStore* store = dep_->cloud().blob_store();
+  if (store != nullptr) {
+    for (const core::InstanceSnapshot& s : rec.snapshots) {
+      if (s.backend != core::Backend::BlobCR || s.image == 0 ||
+          s.version == 0) {
+        continue;
+      }
+      const blob::BlobMeta& meta = store->version_manager().peek(s.image);
+      if (s.version > meta.versions.size() ||
+          meta.version(s.version).pending) {
+        co_await abandon_staged();
+        throw CrError("checkpoint record " + std::to_string(rec.id) +
+                      " cannot complete: instance " +
+                      std::to_string(s.instance) +
+                      "'s snapshot never published");
+      }
+    }
+  }
+
+  rec.state = RecordState::Complete;
+  co_await catalog_.update(rec);
+  staged_ = 0;
+  lineage_head_ = rec.id;
+  last_committed_ = rec;
+  if (cfg_.auto_retention) (void)co_await apply_retention();
+  co_return rec;
+}
+
+Task<> Session::abandon_staged() {
+  if (staged_ == 0) co_return;
+  const CheckpointId dead = staged_;
+  staged_ = 0;
+  co_await mark_incomplete(dead);
+}
+
+Task<CheckpointRecord> Session::commit_last(std::string tag) {
+  co_await stage_last(std::move(tag));
+  std::exception_ptr drain_error;
+  try {
+    // Async pipeline: a complete global checkpoint means globally published.
+    for (std::size_t i = 0; i < dep_->size(); ++i) {
+      co_await dep_->wait_drained(i);
+    }
+  } catch (...) {
+    drain_error = std::current_exception();
+  }
+  if (drain_error) {
+    // The drain died mid-publish: the staged record can never complete.
+    co_await abandon_staged();
+    std::rethrow_exception(drain_error);
+  }
+  co_return co_await publish_staged();
+}
+
+Task<CheckpointRecord> Session::checkpoint(std::string tag) {
+  co_await init_lineage();
+  (void)co_await dep_->checkpoint_all();
+  co_return co_await commit_last(std::move(tag));
+}
+
+Task<CheckpointRecord> Session::restart(const Selector& sel,
+                                        std::size_t node_offset,
+                                        bool cold_caches) {
+  co_await init_lineage();
+  CheckpointRecord rec = co_await catalog_.select(sel);
+  // Whatever was staged (by this session or a dead driver this catalog was
+  // recovered from) can never complete once the deployment rolls back.
+  staged_ = 0;
+  for (const CheckpointRecord& r : catalog_.records()) {
+    if (r.state == RecordState::Staged) co_await mark_incomplete(r.id);
+  }
+  dep_->destroy_all();
+  if (cold_caches) dep_->forget_node_caches();
+  // Lend the tuples to the restart payload instead of deep-copying every
+  // snapshot (incl. qcow table state) per rollback; restart_from takes the
+  // checkpoint by reference and only copies each instance's own snapshot.
+  core::GlobalCheckpoint ckpt;
+  ckpt.snapshots = std::move(rec.snapshots);
+  co_await dep_->restart_from(ckpt, node_offset);
+  rec.snapshots = std::move(ckpt.snapshots);
+  lineage_head_ = rec.id;
+  co_return std::move(rec);
+}
+
+Task<std::uint64_t> Session::apply_retention() {
+  co_await catalog_.open();
+  const RetentionPolicy& pol = cfg_.retention;
+  if (pol.keep_last == 0) co_return 0;
+
+  // Keep the newest keep_last Complete records (+ tagged ones).
+  std::vector<CheckpointId> complete;
+  for (const CheckpointRecord& r : catalog_.records()) {
+    if (r.state == RecordState::Complete) complete.push_back(r.id);
+  }
+  std::unordered_set<CheckpointId> kept;
+  const std::size_t n = complete.size();
+  for (std::size_t i = n > pol.keep_last ? n - pol.keep_last : 0; i < n; ++i) {
+    kept.insert(complete[i]);
+  }
+  std::vector<CheckpointRecord> retire;
+  for (const CheckpointRecord& r : catalog_.records()) {
+    if (r.state != RecordState::Complete || kept.count(r.id) != 0) continue;
+    if (pol.keep_tagged && !r.tag.empty()) continue;
+    retire.push_back(r);
+  }
+  if (retire.empty()) co_return 0;
+  for (CheckpointRecord r : retire) {
+    r.state = RecordState::Retired;
+    co_await catalog_.update(std::move(r));
+  }
+
+  std::uint64_t reclaimed = 0;
+  core::Cloud& cloud = dep_->cloud();
+  if (cloud.blob_store() != nullptr) {
+    // Per-image floors from every record that must stay restartable (or is
+    // still in flight): versions below a floor are handed to the GC; images
+    // referenced by no such record (abandoned lineages) are dropped whole.
+    std::unordered_map<blob::BlobId, blob::VersionId> floor;
+    std::unordered_map<blob::BlobId, blob::VersionId> drop_max;
+    for (const CheckpointRecord& r : catalog_.records()) {
+      const bool keeper = r.state == RecordState::Complete ||
+                          r.state == RecordState::Staged;
+      for (const core::InstanceSnapshot& s : r.snapshots) {
+        if (s.image == 0 || s.version == 0) continue;
+        if (keeper) {
+          const auto it = floor.find(s.image);
+          floor[s.image] = it == floor.end() ? s.version
+                                             : std::min(it->second, s.version);
+        } else {
+          const auto it = drop_max.find(s.image);
+          drop_max[s.image] = it == drop_max.end()
+                                  ? s.version
+                                  : std::max(it->second, s.version);
+        }
+      }
+    }
+    blob::GarbageCollector gc(*cloud.blob_store());
+    for (const auto& [image, keep_from] : floor) {
+      if (keep_from > 1) reclaimed += gc.collect(image, keep_from).reclaimed_bytes;
+    }
+    for (const auto& [image, max_dropped] : drop_max) {
+      if (floor.count(image) != 0) continue;
+      reclaimed += gc.collect(image, max_dropped + 1).reclaimed_bytes;
+    }
+    reclaimed += catalog_.compact();
+  } else {
+    // qcow2-disk: retired snapshot copies on PVFS are whole files; remove
+    // the ones no kept record references. (qcow2-full already removes its
+    // previous copy at each new checkpoint — leave those alone.)
+    std::unordered_set<std::string> kept_paths;
+    for (const CheckpointRecord& r : catalog_.records()) {
+      if (r.state != RecordState::Complete && r.state != RecordState::Staged)
+        continue;
+      for (const core::InstanceSnapshot& s : r.snapshots) {
+        if (!s.pvfs_path.empty()) kept_paths.insert(s.pvfs_path);
+      }
+    }
+    pfs::PvfsClient client(*cloud.pvfs(), cfg_.catalog.client_node);
+    for (const CheckpointRecord& r : retire) {
+      for (const core::InstanceSnapshot& s : r.snapshots) {
+        if (s.backend != core::Backend::Qcow2Disk || s.pvfs_path.empty() ||
+            kept_paths.count(s.pvfs_path) != 0) {
+          continue;
+        }
+        try {
+          reclaimed += co_await client.stat_size(s.pvfs_path);
+          co_await client.remove(s.pvfs_path);
+        } catch (const pfs::PvfsError&) {
+          // Already gone (e.g. removed with a failed node) — nothing to do.
+        }
+      }
+    }
+  }
+  gc_reclaimed_bytes_ += reclaimed;
+  co_return reclaimed;
+}
+
+}  // namespace blobcr::cr

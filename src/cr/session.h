@@ -1,0 +1,123 @@
+// cr::Session: the checkpoint-restart facade owning a deployment's CR
+// lifecycle. It turns the mechanism layer (Deployment snapshots, the
+// coordinated protocol, the garbage collector) into a service with explicit
+// selection and retention semantics:
+//
+//   checkpoint(tag)    snapshot every instance, then commit a catalog record
+//                      (external / full-VM style checkpoints);
+//   stage_last() +     the two protocol-driven halves: stage a durable
+//   publish_staged()   record once every rank's snapshot is captured, then
+//                      mark it Complete after the async drains published
+//                      (mpi::CoordinatedHooks::stage_record/publish_record);
+//   commit_last(tag)   both halves plus the drain wait, for drivers that
+//                      coordinate checkpoints with their own barriers;
+//   restart(Selector)  tear down and restart the deployment from a cataloged
+//                      checkpoint — latest, by id, or by tag;
+//   apply_retention()  retire records past the RetentionPolicy and reclaim
+//                      their snapshot versions.
+//
+// A failed drain between stage and publish marks the record Incomplete; a
+// restart marks every dangling Staged record Incomplete (its stager cannot
+// complete it anymore). Incomplete records are never selectable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cr/catalog.h"
+#include "cr/checkpoint.h"
+#include "sim/sim.h"
+
+namespace blobcr::cr {
+
+class Session {
+ public:
+  struct Config {
+    RetentionPolicy retention;
+    Catalog::Config catalog;
+    /// Run retention after every completed checkpoint (reclaimed bytes
+    /// accumulate in gc_reclaimed_bytes()).
+    bool auto_retention = true;
+  };
+
+  explicit Session(core::Deployment& deployment)
+      : Session(deployment, Config()) {}
+  Session(core::Deployment& deployment, Config cfg);
+
+  core::Deployment& deployment() { return *dep_; }
+  Catalog& catalog() { return catalog_; }
+  const Config& config() const { return cfg_; }
+
+  /// Re-points the session at a replacement deployment (the FT runner's
+  /// from-scratch resubmission constructs a new Deployment object). The
+  /// catalog — repository state — is untouched.
+  void attach(core::Deployment& deployment) { dep_ = &deployment; }
+
+  /// External checkpoint: snapshots every instance in parallel, then
+  /// commits the line to the catalog (stage -> drain -> Complete). On a
+  /// drain failure the record is marked Incomplete and the error rethrown.
+  sim::Task<CheckpointRecord> checkpoint(std::string tag = "");
+
+  /// Commits the deployment's current last-snapshot line (guest-triggered
+  /// coordinated checkpoints whose driver runs its own barriers).
+  sim::Task<CheckpointRecord> commit_last(std::string tag = "");
+
+  /// Protocol half 1: durably stage a record of the current snapshot line
+  /// (snapshots may still be provisional under the async pipeline). Any
+  /// previously dangling staged record is first marked Incomplete.
+  sim::Task<> stage_last(std::string tag = "");
+
+  /// Protocol half 2: refresh the staged record's tuples from the published
+  /// version records and mark it Complete. Runs retention when configured.
+  sim::Task<CheckpointRecord> publish_staged();
+
+  /// Marks the currently staged record (if any) Incomplete — the drain died
+  /// mid-publish and the record can never complete.
+  sim::Task<> abandon_staged();
+
+  /// Tears the deployment down and restarts it from the selected Complete
+  /// checkpoint on nodes shifted by `node_offset`. `cold_caches` drops the
+  /// deployment's decoded-chunk caches first (§4.3.1's restart-on-different-
+  /// nodes semantics); leave false for FT rollbacks where survivors keep
+  /// serving peer copies. Returns the record restarted from.
+  sim::Task<CheckpointRecord> restart(const Selector& sel,
+                                      std::size_t node_offset,
+                                      bool cold_caches = false);
+
+  sim::Task<std::vector<CheckpointRecord>> list() { return catalog_.list(); }
+
+  /// Applies the retention policy now: Complete records beyond keep-last-N
+  /// (minus tagged ones when keep_tagged) retire, their snapshot versions
+  /// are garbage-collected (BlobCR) or their snapshot files removed
+  /// (qcow2-disk), and the catalog log itself is compacted. Returns the
+  /// bytes reclaimed by this pass.
+  sim::Task<std::uint64_t> apply_retention();
+
+  /// The checkpoint the deployment currently descends from (restart target
+  /// or last committed record; 0 before either).
+  CheckpointId lineage_head() const { return lineage_head_; }
+  /// The most recent record this session committed (publish_staged /
+  /// checkpoint / commit_last), for drivers that need its tuples.
+  const std::optional<CheckpointRecord>& last_committed() const {
+    return last_committed_;
+  }
+  /// Total bytes reclaimed by retention over this session's lifetime.
+  std::uint64_t gc_reclaimed_bytes() const { return gc_reclaimed_bytes_; }
+
+ private:
+  sim::Task<> init_lineage();
+  sim::Task<> mark_incomplete(CheckpointId id);
+
+  core::Deployment* dep_;
+  Config cfg_;
+  Catalog catalog_;
+  CheckpointId staged_ = 0;
+  CheckpointId lineage_head_ = 0;
+  bool lineage_init_ = false;
+  std::optional<CheckpointRecord> last_committed_;
+  std::uint64_t gc_reclaimed_bytes_ = 0;
+};
+
+}  // namespace blobcr::cr

@@ -4,9 +4,9 @@
 #include <exception>
 #include <memory>
 
-#include "blob/gc.h"
 #include "blob/repair.h"
 #include "common/strutil.h"
+#include "cr/session.h"
 #include "mpi/blcr.h"
 #include "mpi/coordinated.h"
 
@@ -99,7 +99,7 @@ struct EpochParams {
 /// steps, then run the coordinated checkpoint protocol. Errors are reported
 /// as a job failure (the checkpoint could not complete), not propagated —
 /// the driver rolls back, which is exactly what the middleware would do.
-Task<> epoch_worker(Deployment* dep, EpochParams p,
+Task<> epoch_worker(Deployment* dep, cr::Session* session, EpochParams p,
                     std::shared_ptr<JobShared> st, vm::GuestProcess* gp) {
   try {
     dep->mpi().register_rank(static_cast<int>(p.rank), gp);
@@ -151,6 +151,16 @@ Task<> epoch_worker(Deployment* dep, EpochParams p,
         co_await dep->wait_drained(i);
       };
     }
+    // Catalog control plane: the epoch leader stages the checkpoint record
+    // once every snapshot is captured and publishes it Complete after the
+    // drains — the record, not any driver memory, is what a rollback (or a
+    // whole fresh driver) selects.
+    hooks.stage_record = [session]() -> Task<> {
+      co_await session->stage_last();
+    };
+    hooks.publish_record = [session]() -> Task<> {
+      (void)co_await session->publish_staged();
+    };
     co_await mpi::coordinated_checkpoint(comm, hooks);
 
     ++st->finished;
@@ -213,14 +223,21 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
   co_await holder->dep->deploy_and_boot();
   holder->dep->mpi().set_size(static_cast<int>(n));
 
+  // The middleware's control plane: checkpoint identity lives in the
+  // repository-resident catalog, not in this driver's memory.
+  cr::Session::Config scfg;
+  scfg.retention = cfg->retention;
+  if (scfg.retention.keep_last == 0 && cfg->gc_keep_last > 0) {
+    scfg.retention.keep_last = static_cast<std::size_t>(cfg->gc_keep_last);
+  }
+  auto session = std::make_unique<cr::Session>(*holder->dep, scfg);
+
   auto st = std::make_shared<JobShared>(sim, n);
   sim::ProcessPtr injector =
       sim.spawn("ft-injector", injector_body(&sim, holder, st, cfg->failures));
 
   const sim::Time job_start = sim.now();
   sim::Duration completed = 0;
-  GlobalCheckpoint last_ckpt;
-  bool have_ckpt = false;
   bool gave_up = false;
 
   // Epoch 0 takes the initial checkpoint (work = 0) so the very first
@@ -232,6 +249,10 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
                        : std::min(cfg->checkpoint_interval,
                                   cfg->total_work - completed);
     st->begin_epoch();
+    // Catalog head before the epoch: if it advances, the epoch leader
+    // durably published this epoch's record — the checkpoint is complete
+    // even if a failure then kills a rank before every worker returns.
+    const cr::CheckpointId epoch_head = session->lineage_head();
     EpochRecord rec;
     rec.start = sim.now();
     st->epoch_active = true;
@@ -247,39 +268,37 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
       p.real_data = cfg->real_data;
       p.mode = cfg->mode;
       Deployment* dp = &dep;
+      cr::Session* sp = session.get();
       dep.vm(i).start_guest(
           common::strf("ft-e%d-r%zu", st->epoch, i),
-          [dp, p, st](vm::GuestProcess& gp) -> Task<> {
-            co_await epoch_worker(dp, p, st, &gp);
+          [dp, sp, p, st](vm::GuestProcess& gp) -> Task<> {
+            co_await epoch_worker(dp, sp, p, st, &gp);
           });
     }
 
     while (st->finished < n && !st->failed) co_await st->wq.wait();
     st->epoch_active = false;
     rec.end = sim.now();
-    rec.success = st->finished == n;
+    // "Success" means the global checkpoint committed: either every worker
+    // returned, or the catalog record published before the failure hit
+    // (the published line is durable and IS the next rollback target, so
+    // the driver must promote its digests and work accounting in step —
+    // otherwise the restore would verify epoch-N state against epoch-N-1
+    // digests and falsely report corruption).
+    rec.success = st->finished == n || session->lineage_head() != epoch_head;
     rec.failures = st->epoch_failures;
     report->epochs.push_back(rec);
     report->failures += st->epoch_failures;
 
     if (rec.success) {
+      // The epoch leader already published the catalog record inside the
+      // coordinated protocol (and the session's retention pass ran); the
+      // driver only keeps its verification digests in step.
       completed += epoch_work;
       ++report->checkpoints;
-      last_ckpt = dep.collect_last_snapshots();
-      have_ckpt = true;
       st->committed_digests = st->pending_digests;
       if (st->ckpt_phase_start != 0)
         report->checkpoint_overhead += rec.end - st->ckpt_phase_start;
-      // Reclaim snapshots this job can no longer roll back to (§6).
-      if (cfg->gc_keep_last > 0 && cloud->blob_store() != nullptr) {
-        blob::GarbageCollector gc(*cloud->blob_store());
-        for (const core::InstanceSnapshot& snap : last_ckpt.snapshots) {
-          const auto keep = static_cast<blob::VersionId>(cfg->gc_keep_last);
-          if (snap.image == 0 || snap.version <= keep) continue;
-          report->gc_reclaimed_bytes +=
-              gc.collect(snap.image, snap.version - keep + 1).reclaimed_bytes;
-        }
-      }
     } else {
       report->wasted_compute += rec.end - rec.start;
     }
@@ -299,8 +318,12 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
       }
       const sim::Time t0 = sim.now();
       shift += n;  // place every instance on fresh nodes
-      if (have_ckpt) {
-        co_await dep.restart_from(last_ckpt, shift);
+      const std::optional<cr::CheckpointRecord> target =
+          co_await session->catalog().find(cr::Selector::latest());
+      if (target.has_value()) {
+        // §3.2: roll back to the last *complete* global checkpoint — the
+        // catalog's selection, not a driver-held snapshot vector.
+        (void)co_await session->restart(cr::Selector::latest(), shift);
         dep.mpi().reset_for_restart();
         for (std::size_t i = 0; i < n; ++i) {
           EpochParams p;
@@ -324,9 +347,11 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
       } else {
         // Failure during the initial checkpoint: no rollback target exists,
         // so resubmit from scratch — a fresh deployment from the base image.
+        co_await session->abandon_staged();
         holder->dep = std::make_unique<Deployment>(*cloud, n, shift);
         co_await holder->dep->deploy_and_boot();
         holder->dep->mpi().set_size(static_cast<int>(n));
+        session->attach(*holder->dep);
       }
       // Heal the repository: re-replicate what the dead node's provider
       // held, so the next failure is just as survivable as this one was.
@@ -348,6 +373,7 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
   injector->kill();
   report->makespan = sim.now() - job_start;
   report->useful_work = completed;
+  report->gc_reclaimed_bytes = session->gc_reclaimed_bytes();
   report->ckpt_blocked = st->ckpt_blocked;
   report->completed = !gave_up && completed >= cfg->total_work;
   if (cfg->real_data) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/cloud.h"
+#include "cr/checkpoint.h"
 #include "ft/failure.h"
 #include "sim/sim.h"
 
@@ -62,10 +63,14 @@ struct FtJobConfig {
   /// chunks whose provider died with the node (BlobCR backend only). Keeps
   /// the *next* failure survivable instead of just the first.
   bool repair_after_restart = false;
-  /// After every committed checkpoint, garbage-collect snapshot versions
-  /// older than the last `gc_keep_last` per instance (the paper's §6 future
-  /// work, BlobCR backend only). 0 disables. The runner only ever rolls
-  /// back to the latest complete checkpoint, so keeping 1 is always safe.
+  /// Catalog retention (the paper's §6 future work): after every committed
+  /// checkpoint the runner's cr::Session retires records beyond
+  /// keep-last-N and reclaims their snapshot versions through the garbage
+  /// collector. keep_last == 0 disables. The runner only ever rolls back
+  /// to the latest complete checkpoint, so keeping 1 is always safe.
+  cr::RetentionPolicy retention;
+  /// Deprecated alias for retention.keep_last (> 0 wins only when the
+  /// policy above was left at its default).
   int gc_keep_last = 0;
 };
 

@@ -41,6 +41,16 @@ struct CoordinatedHooks {
   /// none — it adds one collective barrier. Leave unset for synchronous
   /// commits.
   std::function<sim::Task<>()> wait_drained;
+  /// Checkpoint catalog control plane (cr::Session): the epoch leader
+  /// durably stages the global checkpoint record once every rank's snapshot
+  /// is captured (still provisional under the async pipeline), and — after
+  /// the drain barrier — publishes it Complete, making the line selectable
+  /// for restart. Each adds one collective barrier when set (set both on
+  /// every rank or on none; only the epoch leader's are invoked). A drain
+  /// that dies between the two leaves the record staged, never a torn
+  /// "complete" checkpoint.
+  std::function<sim::Task<>()> stage_record;
+  std::function<sim::Task<>()> publish_record;
 };
 
 /// Runs one global coordinated checkpoint from the calling rank's
@@ -70,13 +80,27 @@ inline sim::Task<> coordinated_checkpoint(MpiWorld::Comm comm,
   //    or staged (async pipeline — the VMs have already resumed), then the
   //    guest application resumes.
   co_await comm.barrier();
-  // 6. Async drain barrier: a "complete global checkpoint" means globally
+  // 6. Catalog staging: every rank's snapshot exists (possibly still
+  //    provisional), so the epoch leader durably records the line's intent
+  //    in the checkpoint catalog before the drains decide its fate.
+  if (hooks.stage_record) {
+    if (hooks.epoch_leader) co_await hooks.stage_record();
+    co_await comm.barrier();
+  }
+  // 7. Async drain barrier: a "complete global checkpoint" means globally
   //    *published*, so each VM leader waits for its node's background drain
   //    before the final collective barrier. A drain failure surfaces here
   //    as a failed checkpoint, exactly like a failed synchronous commit in
-  //    step 4.
+  //    step 4 — and leaves the staged catalog record incomplete.
   if (hooks.wait_drained) {
     if (hooks.vm_leader) co_await hooks.wait_drained();
+    co_await comm.barrier();
+  }
+  // 8. Catalog publication: the record flips to Complete — §3.2's "last
+  //    complete global checkpoint" now durably names this line — before
+  //    any rank resumes application work.
+  if (hooks.publish_record) {
+    if (hooks.epoch_leader) co_await hooks.publish_record();
     co_await comm.barrier();
   }
 }

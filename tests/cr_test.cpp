@@ -1,0 +1,376 @@
+// Checkpoint catalog + cr::Session control-plane tests: the catalog is
+// repository state (a fresh Deployment/driver discovers and restarts from
+// checkpoints it never took), selection refuses records that never
+// completed (drain killed mid-publish), restart works from older and
+// tagged lines bit-exactly, lineage is recorded, and the retention policy
+// retires records and reclaims their snapshot storage without damaging any
+// kept rollback target.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blob/client.h"
+#include "core/blobcr.h"
+#include "flush/flush_agent.h"
+#include "sim/sim.h"
+
+namespace blobcr::cr {
+namespace {
+
+using common::Buffer;
+using core::Backend;
+using core::Cloud;
+using core::CloudConfig;
+using core::Deployment;
+using sim::Task;
+
+CloudConfig tiny_cfg(Backend backend, bool flush = false) {
+  CloudConfig cfg;
+  cfg.compute_nodes = 6;
+  cfg.metadata_nodes = 2;
+  cfg.backend = backend;
+  cfg.flush.enabled = flush;
+  cfg.os = vm::GuestOsConfig::test_tiny();
+  cfg.vm.os_ram_bytes = 20 * common::kMB;
+  return cfg;
+}
+
+Task<> write_state(vm::VmInstance* vm, std::uint64_t seed) {
+  guestfs::SimpleFs* fs = vm->fs();
+  co_await fs->write_file("/data/state.bin", Buffer::pattern(300'000, seed));
+  co_await fs->sync();
+}
+
+Task<bool> state_matches(vm::VmInstance* vm, std::uint64_t seed) {
+  const Buffer state = co_await vm->fs()->read_file("/data/state.bin");
+  co_return state == Buffer::pattern(300'000, seed);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance property: a catalog written by one Deployment is readable
+// by a freshly constructed one. After destroy_all() plus teardown of every
+// driver-held object (Deployment, Session — total driver loss), a fresh
+// Session restores bit-exact guest state from repository-resident records
+// alone.
+// ---------------------------------------------------------------------------
+
+TEST(CrCatalogTest, FreshDeploymentRestartsFromCatalogAfterDriverLoss) {
+  Cloud cloud(tiny_cfg(Backend::BlobCR));
+  bool ok0 = false, ok1 = false;
+
+  cloud.run([](Cloud* cl, bool* ok0, bool* ok1) -> Task<> {
+    co_await cl->provision_base_image();
+    {
+      // Driver generation 1: deploy, checkpoint, then lose everything.
+      auto dep = std::make_unique<Deployment>(*cl, 2);
+      auto session = std::make_unique<Session>(*dep);
+      co_await dep->deploy_and_boot();
+      co_await write_state(&dep->vm(0), 10);
+      co_await write_state(&dep->vm(1), 11);
+      const CheckpointRecord rec = co_await session->checkpoint("gen1");
+      EXPECT_EQ(rec.state, RecordState::Complete);
+      EXPECT_GT(rec.total_bytes(), 0u);
+      dep->destroy_all();
+      // Total driver loss: no in-memory object survives this block.
+    }
+
+    // Driver generation 2: a fresh Deployment + Session discover the
+    // catalog and restart a checkpoint they never took.
+    Deployment dep2(*cl, 2);
+    Session session2(dep2);
+    const std::vector<CheckpointRecord> records = co_await session2.list();
+    EXPECT_EQ(records.size(), 1u);
+    if (records.empty()) co_return;
+    EXPECT_EQ(records[0].tag, "gen1");
+    const CheckpointRecord rec =
+        co_await session2.restart(Selector::latest(), /*node_offset=*/2);
+    EXPECT_EQ(rec.tag, "gen1");
+    *ok0 = co_await state_matches(&dep2.vm(0), 10);
+    *ok1 = co_await state_matches(&dep2.vm(1), 11);
+  }(&cloud, &ok0, &ok1));
+
+  EXPECT_TRUE(ok0);
+  EXPECT_TRUE(ok1);
+}
+
+// The same property on a qcow baseline: the catalog lives in a PVFS file
+// and the records round-trip the full qcow table state.
+TEST(CrCatalogTest, QcowCatalogOnPvfsSurvivesDriverLoss) {
+  Cloud cloud(tiny_cfg(Backend::Qcow2Disk));
+  bool ok = false;
+
+  cloud.run([](Cloud* cl, bool* ok) -> Task<> {
+    co_await cl->provision_base_image();
+    {
+      auto dep = std::make_unique<Deployment>(*cl, 1);
+      auto session = std::make_unique<Session>(*dep);
+      co_await dep->deploy_and_boot();
+      co_await write_state(&dep->vm(0), 77);
+      const CheckpointRecord rec = co_await session->checkpoint();
+      EXPECT_EQ(rec.state, RecordState::Complete);
+      EXPECT_FALSE(rec.snapshots.at(0).pvfs_path.empty());
+      dep->destroy_all();
+    }
+    Deployment dep2(*cl, 1);
+    Session session2(dep2);
+    (void)co_await session2.restart(Selector::latest(), /*node_offset=*/2);
+    *ok = co_await state_matches(&dep2.vm(0), 77);
+  }(&cloud, &ok));
+
+  EXPECT_TRUE(ok);
+}
+
+// ---------------------------------------------------------------------------
+// Selection semantics: older and tagged lines restart bit-exactly; lineage
+// records which checkpoint the deployment descended from.
+// ---------------------------------------------------------------------------
+
+TEST(CrCatalogTest, RestartFromOlderCheckpointIsBitExact) {
+  Cloud cloud(tiny_cfg(Backend::BlobCR));
+  bool old_ok = false, latest_ok = false;
+  CheckpointId first_id = 0, second_id = 0, third_parent = 0;
+
+  cloud.run([](Cloud* cl, bool* old_ok, bool* latest_ok, CheckpointId* id1,
+               CheckpointId* id2, CheckpointId* parent3) -> Task<> {
+    co_await cl->provision_base_image();
+    Deployment dep(*cl, 2);
+    Session session(dep);
+    co_await dep.deploy_and_boot();
+
+    co_await write_state(&dep.vm(0), 100);
+    co_await write_state(&dep.vm(1), 101);
+    const CheckpointRecord one = co_await session.checkpoint("one");
+    *id1 = one.id;
+    EXPECT_EQ(one.parent, 0u);
+
+    co_await write_state(&dep.vm(0), 200);
+    co_await write_state(&dep.vm(1), 201);
+    const CheckpointRecord two = co_await session.checkpoint("two");
+    *id2 = two.id;
+    EXPECT_EQ(two.parent, one.id);
+
+    // Roll back past the latest line to the OLDER checkpoint, by tag.
+    dep.destroy_all();
+    const CheckpointRecord back =
+        co_await session.restart(Selector::by_tag("one"), 2);
+    EXPECT_EQ(back.id, one.id);
+    *old_ok = (co_await state_matches(&dep.vm(0), 100)) &&
+              (co_await state_matches(&dep.vm(1), 101));
+
+    // A checkpoint taken after that rollback descends from "one", not from
+    // the abandoned "two" line.
+    const CheckpointRecord three = co_await session.checkpoint();
+    *parent3 = three.parent;
+
+    // The newer line is still selectable — forward again, by id.
+    dep.destroy_all();
+    (void)co_await session.restart(Selector::by_id(two.id), 4);
+    *latest_ok = (co_await state_matches(&dep.vm(0), 200)) &&
+                 (co_await state_matches(&dep.vm(1), 201));
+  }(&cloud, &old_ok, &latest_ok, &first_id, &second_id, &third_parent));
+
+  EXPECT_TRUE(old_ok);
+  EXPECT_TRUE(latest_ok);
+  EXPECT_EQ(third_parent, first_id);
+  EXPECT_NE(second_id, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Completeness: a drain killed mid-publish (the flush crash harness's
+// fail-stop-at-stage-boundary injection) leaves an Incomplete record that
+// selection refuses; the previous Complete line stays the restart target.
+// ---------------------------------------------------------------------------
+
+TEST(CrCatalogTest, DrainKilledMidPublishLeavesUnselectableIncompleteRecord) {
+  Cloud cloud(tiny_cfg(Backend::BlobCR, /*flush=*/true));
+  bool restored_ok = false;
+  bool ckpt_threw = false, select_threw = false;
+  RecordState dead_state = RecordState::Staged;
+
+  cloud.run([](Cloud* cl, bool* restored_ok, bool* ckpt_threw,
+               bool* select_threw, RecordState* dead_state) -> Task<> {
+    sim::Event never(cl->simulation());  // parking spot for the kill probe
+    co_await cl->provision_base_image();
+    auto dep = std::make_unique<Deployment>(*cl, 1);
+    auto session = std::make_unique<Session>(*dep);
+    co_await dep->deploy_and_boot();
+
+    co_await write_state(&dep->vm(0), 500);
+    const CheckpointRecord good = co_await session->checkpoint("good");
+
+    // Arm the flush crash harness: fail-stop the node's drain agent at the
+    // Putting stage boundary, exactly mid-publish.
+    core::MirrorDevice* m = dep->instance(0).mirror.get();
+    EXPECT_NE(m->flush_agent(), nullptr);
+    if (m->flush_agent() == nullptr) co_return;
+    bool armed = true;
+    m->flush_agent()->set_stage_probe(
+        [cl, m, &armed, &never](blob::CommitStage s) -> Task<> {
+          if (armed && s == blob::CommitStage::Putting) {
+            armed = false;
+            cl->simulation().call_in(0, [m] { m->flush_agent()->fail_stop(); });
+            co_await never.wait();  // killed while suspended here
+          }
+        });
+
+    co_await write_state(&dep->vm(0), 600);
+    CheckpointId dead_id = 0;
+    try {
+      (void)co_await session->checkpoint("doomed");
+    } catch (const blob::BlobError&) {
+      *ckpt_threw = true;
+    }
+    // The doomed record exists, is Incomplete, and selection refuses it.
+    for (const CheckpointRecord& rec : co_await session->list()) {
+      if (rec.tag == "doomed") {
+        dead_id = rec.id;
+        *dead_state = rec.state;
+      }
+    }
+    EXPECT_NE(dead_id, 0u);
+    if (dead_id == 0) co_return;
+    try {
+      (void)co_await session->catalog().select(Selector::by_id(dead_id));
+    } catch (const CrError&) {
+      *select_threw = true;
+    }
+
+    // Driver loss on top of the crash: a fresh session must still pick the
+    // good line and restore it bit for bit.
+    dep->destroy_all();
+    session.reset();
+    dep = std::make_unique<Deployment>(*cl, 1);
+    Session fresh(*dep);
+    const CheckpointRecord rec =
+        co_await fresh.restart(Selector::latest(), /*node_offset=*/3);
+    EXPECT_EQ(rec.id, good.id);
+    *restored_ok = co_await state_matches(&dep->vm(0), 500);
+  }(&cloud, &restored_ok, &ckpt_threw, &select_threw, &dead_state));
+
+  EXPECT_TRUE(ckpt_threw) << "drain kill never surfaced";
+  EXPECT_EQ(dead_state, RecordState::Incomplete);
+  EXPECT_TRUE(select_threw) << "incomplete record was selectable";
+  EXPECT_TRUE(restored_ok);
+}
+
+// A record left merely Staged by a dead driver (killed between stage and
+// publish, so nobody marked it) is also refused, and a restart sweeps it to
+// Incomplete.
+TEST(CrCatalogTest, DanglingStagedRecordIsSweptOnRestart) {
+  Cloud cloud(tiny_cfg(Backend::BlobCR));
+  RecordState swept = RecordState::Staged;
+  bool ok = false;
+
+  cloud.run([](Cloud* cl, RecordState* swept, bool* ok) -> Task<> {
+    co_await cl->provision_base_image();
+    auto dep = std::make_unique<Deployment>(*cl, 1);
+    auto session = std::make_unique<Session>(*dep);
+    co_await dep->deploy_and_boot();
+    co_await write_state(&dep->vm(0), 41);
+    (void)co_await session->checkpoint();
+    // Stage a second line but "die" before publishing it.
+    co_await write_state(&dep->vm(0), 42);
+    (void)co_await dep->checkpoint_all();
+    co_await session->stage_last("never-published");
+    dep->destroy_all();
+    session.reset();
+
+    Deployment dep2(*cl, 1);
+    Session fresh(dep2);
+    (void)co_await fresh.restart(Selector::latest(), 2);
+    *ok = co_await state_matches(&dep2.vm(0), 41);
+    for (const CheckpointRecord& rec : co_await fresh.list()) {
+      if (rec.tag == "never-published") *swept = rec.state;
+    }
+  }(&cloud, &swept, &ok));
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(swept, RecordState::Incomplete);
+}
+
+// ---------------------------------------------------------------------------
+// Retention: keep-last-N retires old untagged records and reclaims their
+// snapshot versions through the GC; tagged records survive and stay
+// restartable bit-exactly after the reclamation around them.
+// ---------------------------------------------------------------------------
+
+TEST(CrRetentionTest, KeepLastReclaimsUntaggedAndPreservesTagged) {
+  Cloud cloud(tiny_cfg(Backend::BlobCR));
+  std::uint64_t reclaimed = 0;
+  std::size_t complete_count = 0, retired_count = 0;
+  bool golden_ok = false;
+
+  cloud.run([](Cloud* cl, std::uint64_t* reclaimed, std::size_t* n_complete,
+               std::size_t* n_retired, bool* golden_ok) -> Task<> {
+    co_await cl->provision_base_image();
+    Deployment dep(*cl, 1);
+    Session::Config scfg;
+    scfg.retention.keep_last = 1;
+    scfg.retention.keep_tagged = true;
+    Session session(dep, scfg);
+    co_await dep.deploy_and_boot();
+
+    co_await write_state(&dep.vm(0), 1);
+    (void)co_await session.checkpoint("golden");
+    for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+      co_await write_state(&dep.vm(0), seed);
+      (void)co_await session.checkpoint();  // auto-retention after each
+    }
+    *reclaimed = session.gc_reclaimed_bytes();
+    for (const CheckpointRecord& rec : co_await session.list()) {
+      if (rec.state == RecordState::Complete) ++*n_complete;
+      if (rec.state == RecordState::Retired) ++*n_retired;
+    }
+
+    // The tagged line survived retention AND the GC around it: restart it.
+    dep.destroy_all();
+    (void)co_await session.restart(Selector::by_tag("golden"), 2);
+    *golden_ok = co_await state_matches(&dep.vm(0), 1);
+  }(&cloud, &reclaimed, &complete_count, &retired_count, &golden_ok));
+
+  EXPECT_GT(reclaimed, 0u);
+  // golden (tagged) + the newest untagged record stay Complete; the middle
+  // untagged records retired.
+  EXPECT_EQ(complete_count, 2u);
+  EXPECT_EQ(retired_count, 2u);
+  EXPECT_TRUE(golden_ok);
+}
+
+TEST(CrRetentionTest, QcowDiskRetentionRemovesRetiredSnapshotCopies) {
+  Cloud cloud(tiny_cfg(Backend::Qcow2Disk));
+  std::uint64_t reclaimed = 0;
+  std::size_t files_before = 0, files_after = 0;
+  bool ok = false;
+
+  cloud.run([](Cloud* cl, std::uint64_t* reclaimed, std::size_t* before,
+               std::size_t* after, bool* ok) -> Task<> {
+    co_await cl->provision_base_image();
+    Deployment dep(*cl, 1);
+    Session::Config scfg;
+    scfg.retention.keep_last = 1;
+    scfg.auto_retention = false;  // apply explicitly below
+    Session session(dep, scfg);
+    co_await dep.deploy_and_boot();
+
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      co_await write_state(&dep.vm(0), seed);
+      (void)co_await session.checkpoint();
+    }
+    *before = cl->pvfs()->file_count();
+    *reclaimed = co_await session.apply_retention();
+    *after = cl->pvfs()->file_count();
+
+    dep.destroy_all();
+    (void)co_await session.restart(Selector::latest(), 2);
+    *ok = co_await state_matches(&dep.vm(0), 3);
+  }(&cloud, &reclaimed, &files_before, &files_after, &ok));
+
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(files_after + 2, files_before);  // two retired copies removed
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace blobcr::cr
