@@ -21,6 +21,10 @@ void run_point(benchmark::State& state, const Approach& approach,
   report_seconds(state, result.checkpoint_times.at(0));
   state.counters["ckpt_s"] = sim::to_seconds(result.checkpoint_times.at(0));
   state.counters["snap_MB_per_vm"] = mb(result.snapshot_bytes_per_vm.at(0));
+  // App-blocked share of the checkpoint (the longest VM pause) — gated in
+  // CI alongside the shipped-bytes counter above.
+  state.counters["blocked_s"] =
+      sim::to_seconds(result.checkpoint_blocked_times.at(0));
 }
 
 void register_all() {

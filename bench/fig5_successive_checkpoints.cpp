@@ -15,6 +15,7 @@ constexpr int kRounds = 4;
 
 struct SeriesResult {
   std::vector<sim::Duration> times;
+  std::vector<sim::Duration> blocked;
   std::vector<std::uint64_t> repo;
 };
 
@@ -27,7 +28,8 @@ SeriesResult run_series(const Approach& approach) {
   run.rounds = kRounds;
   const apps::RunResult result =
       apps::run_synthetic(cloud, run, approach.mode);
-  return SeriesResult{result.checkpoint_times, result.repo_growth};
+  return SeriesResult{result.checkpoint_times, result.checkpoint_blocked_times,
+                      result.repo_growth};
 }
 
 void register_all() {
@@ -45,6 +47,9 @@ void register_all() {
             state.counters["ckpt_s"] =
                 sim::to_seconds(series->times.at(round - 1));
             state.counters["repo_MB"] = mb(series->repo.at(round - 1));
+            // App-blocked share per round — gated in CI with repo_MB.
+            state.counters["blocked_s"] =
+                sim::to_seconds(series->blocked.at(round - 1));
           })
           ->UseManualTime()
           ->Iterations(1)

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Compare fresh fast-mode bench JSON against the bench-results/ baselines.
 
-The CI release leg runs the restart-path benches under BLOBCR_BENCH_FAST=1
-and calls this script; the build fails when restart makespan or
-repository-bytes-fetched regresses beyond the tolerance band, or when a
-bit-exactness check (the `verified` counter) flips to 0.
+The CI release leg runs the restart-path AND commit-path benches under
+BLOBCR_BENCH_FAST=1 and calls this script; the build fails when restart
+makespan, repository-bytes-fetched, shipped snapshot bytes, commit
+blocked-time or the multi-tenant headline metrics regress beyond the
+tolerance band, or when a bit-exactness / invariant check (the `verified`
+counter) flips to 0.
 
 Both sides are *simulated* results, so run-to-run noise is zero for an
 unchanged binary; the tolerance band only absorbs intentional modeling
@@ -28,13 +30,25 @@ import sys
 # Gated metrics: benchmark-local counter name -> (pretty label, absolute
 # slack below which differences are ignored).
 GATED_COUNTERS = {
+    # Restart path.
     "restart_s": ("restart makespan [s]", 0.05),
     "repo_mb_per_inst": ("repo bytes fetched [MB/inst]", 0.5),
+    # Commit path.
+    "blocked_s": ("commit blocked time [s]", 0.02),
+    "snap_MB_per_vm": ("snapshot shipped [MB/VM]", 0.5),
+    "repo_MB": ("repository growth [MB]", 2.0),
+    # Multi-tenant repository.
+    "repo_mb_per_job": ("repository bytes shipped [MB/job]", 0.5),
+    "blocked_p95_s": ("p95 commit blocked time [s]", 0.02),
 }
-# Default file set: the restart-path benches the gate protects.
+# Default file set: the restart- and commit-path benches the gate protects.
 DEFAULT_FILES = [
     "BENCH_fig3_restart_scaling.json",
     "BENCH_ablation_prefetch.json",
+    "BENCH_fig2_checkpoint_scaling.json",
+    "BENCH_fig5_successive_checkpoints.json",
+    "BENCH_ablation_async_flush.json",
+    "BENCH_ablation_multitenant.json",
 ]
 
 
@@ -54,7 +68,7 @@ def load_benchmarks(path):
     return out
 
 
-def main():
+def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fresh", required=True,
                     help="directory with freshly emitted BENCH_*.json")
@@ -65,7 +79,7 @@ def main():
     ap.add_argument("--file", action="append", default=None,
                     help="gate only these files (repeatable); default: "
                          + ", ".join(DEFAULT_FILES))
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     files = args.file if args.file else DEFAULT_FILES
     regressions = []

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Builds the benchmarks in Release and runs every bench binary found in the
-# build directory, emitting one bench-results/BENCH_<name>.json per figure so
-# the perf trajectory accumulates across PRs.
+# Builds the benchmarks in Release and runs one binary per bench/*.cpp
+# translation unit, emitting one bench-results/BENCH_<name>.json per figure
+# so the perf trajectory accumulates across PRs.
 #
-# Bench binaries are discovered from the build directory (any executable
-# whose name matches a bench/*.cpp translation unit), so adding a new
-# bench/*.cpp is picked up automatically — no hardcoded list to maintain.
+# The expected set is enumerated from bench/*.cpp (adding a new bench is
+# picked up automatically — no hardcoded list), and a source whose binary is
+# missing from the build directory fails the run: a silent skip would
+# quietly drop that figure from the regression gate's coverage.
 #
 # Env:
 #   BLOBCR_BENCH_FAST  1 (default) = reduced sweeps (CI smoke);
@@ -27,12 +28,18 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 mkdir -p "$OUT_DIR"
 status=0
 found=0
-for bin in "$BUILD_DIR"/*; do
-  [ -f "$bin" ] && [ -x "$bin" ] || continue
-  name="$(basename "$bin")"
-  # A bench binary is one built from a bench/ translation unit.
-  [ -f "bench/$name.cpp" ] || continue
+# Every bench/*.cpp translation unit is an expected binary: a missing one
+# (benchmark library absent, target dropped from the build) is an error,
+# not a silent skip — otherwise the regression gate quietly loses coverage.
+for src in bench/*.cpp; do
+  name="$(basename "$src" .cpp)"
   if [ -n "$BENCH_FILTER" ] && ! echo "$name" | grep -Eq "$BENCH_FILTER"; then
+    continue
+  fi
+  bin="$BUILD_DIR/$name"
+  if [ ! -f "$bin" ] || [ ! -x "$bin" ]; then
+    echo "MISSING bench binary: $bin (expected from $src)" >&2
+    status=1
     continue
   fi
   found=$((found + 1))
@@ -43,8 +50,8 @@ for bin in "$BUILD_DIR"/*; do
     status=1
   fi
 done
-if [ "$found" -eq 0 ]; then
-  echo "No bench binaries found in $BUILD_DIR (benchmark library missing?)" >&2
+if [ "$found" -eq 0 ] && [ "$status" -eq 0 ]; then
+  echo "No bench binaries matched in $BUILD_DIR (benchmark library missing?)" >&2
   status=1
 fi
 exit $status

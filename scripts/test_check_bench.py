@@ -1,0 +1,150 @@
+"""pytest coverage for scripts/check_bench.py (the CI bench regression gate).
+
+Covers the gate's contract: the tolerance band (within / beyond), one-sided
+regressions (improvements never fail), the `verified` never-flips-to-0 rule,
+missing-counter handling, missing fresh files (hard fail) vs missing
+baselines (note + pass), and the vacuous-pass guard when nothing matches.
+
+Run:  python3 -m pytest scripts/test_check_bench.py -q
+"""
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "check_bench.py"))
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+FILE = "BENCH_fig3_restart_scaling.json"
+
+
+def bench_json(points):
+    """points: {name: {counter: value}} -> google-benchmark JSON payload."""
+    return {
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "real_time": 1.0,
+             **counters}
+            for name, counters in points.items()
+        ]
+    }
+
+
+def write(dirpath, fname, points):
+    dirpath.mkdir(parents=True, exist_ok=True)
+    (dirpath / fname).write_text(json.dumps(bench_json(points)))
+
+
+def run_gate(tmp_path, fresh, base, tolerance=0.25, files=(FILE,)):
+    write(tmp_path / "fresh", FILE, fresh)
+    if base is not None:
+        write(tmp_path / "base", FILE, base)
+    else:
+        (tmp_path / "base").mkdir(parents=True, exist_ok=True)
+    argv = ["--fresh", str(tmp_path / "fresh"),
+            "--baseline", str(tmp_path / "base"),
+            "--tolerance", str(tolerance)]
+    for f in files:
+        argv += ["--file", f]
+    return check_bench.main(argv)
+
+
+def test_within_tolerance_band_passes(tmp_path):
+    base = {"Fig3/p": {"restart_s": 10.0, "verified": 1}}
+    fresh = {"Fig3/p": {"restart_s": 12.0, "verified": 1}}  # +20% < +25%
+    assert run_gate(tmp_path, fresh, base) == 0
+
+
+def test_regression_beyond_band_fails(tmp_path):
+    base = {"Fig3/p": {"restart_s": 10.0, "verified": 1}}
+    fresh = {"Fig3/p": {"restart_s": 13.0, "verified": 1}}  # +30% > +25%
+    assert run_gate(tmp_path, fresh, base) == 1
+
+
+def test_regressions_are_one_sided(tmp_path):
+    # Getting faster / shipping fewer bytes never fails, however large the
+    # improvement.
+    base = {"Fig3/p": {"restart_s": 10.0, "repo_mb_per_inst": 100.0}}
+    fresh = {"Fig3/p": {"restart_s": 0.1, "repo_mb_per_inst": 1.0}}
+    assert run_gate(tmp_path, fresh, base) == 0
+
+
+def test_absolute_slack_absorbs_tiny_diffs(tmp_path):
+    # 0.01 -> 0.04 is +300% but under the 0.05 absolute slack for restart_s.
+    base = {"Fig3/p": {"restart_s": 0.01}}
+    fresh = {"Fig3/p": {"restart_s": 0.04}}
+    assert run_gate(tmp_path, fresh, base) == 0
+
+
+def test_verified_flip_to_zero_fails(tmp_path):
+    base = {"Fig3/p": {"restart_s": 10.0, "verified": 1}}
+    fresh = {"Fig3/p": {"restart_s": 10.0, "verified": 0}}
+    assert run_gate(tmp_path, fresh, base) == 1
+
+
+def test_commit_path_counters_are_gated(tmp_path):
+    base = {"Fig5/p": {"blocked_s": 1.0, "repo_MB": 50.0}}
+    fresh_ok = {"Fig5/p": {"blocked_s": 1.1, "repo_MB": 55.0}}
+    fresh_bad = {"Fig5/p": {"blocked_s": 2.0, "repo_MB": 50.0}}
+    assert run_gate(tmp_path, fresh_ok, base) == 0
+    assert run_gate(tmp_path, fresh_bad, base) == 1
+
+
+def test_missing_fresh_file_fails(tmp_path):
+    # A bench that crashed (no fresh JSON) must fail the gate, not skip.
+    write(tmp_path / "base", FILE, {"Fig3/p": {"restart_s": 1.0}})
+    (tmp_path / "fresh").mkdir(parents=True, exist_ok=True)
+    assert check_bench.main(["--fresh", str(tmp_path / "fresh"),
+                             "--baseline", str(tmp_path / "base"),
+                             "--file", FILE]) == 1
+
+
+def test_missing_baseline_is_note_not_failure(tmp_path):
+    # New bench with no committed baseline yet: note + pass.
+    fresh = {"Fig3/p": {"restart_s": 1.0}}
+    assert run_gate(tmp_path, fresh, None) == 0
+
+
+def test_missing_counter_in_fresh_is_skipped(tmp_path):
+    # A counter present only in the baseline is skipped (renames / counter
+    # removals surface in review, not as a spurious regression).
+    base = {"Fig3/p": {"restart_s": 1.0, "repo_mb_per_inst": 5.0}}
+    fresh = {"Fig3/p": {"restart_s": 1.0}}
+    assert run_gate(tmp_path, fresh, base) == 0
+
+
+def test_no_matching_points_is_vacuous_fail(tmp_path):
+    # Baselines exist but every point was renamed: a vacuous pass would let
+    # any regression through, so the gate fails.
+    base = {"Fig3/old-name": {"restart_s": 1.0}}
+    fresh = {"Fig3/new-name": {"restart_s": 1.0}}
+    assert run_gate(tmp_path, fresh, base) == 1
+
+
+def test_aggregate_rows_are_ignored(tmp_path):
+    payload = {
+        "benchmarks": [
+            {"name": "Fig3/p", "run_type": "iteration", "real_time": 1.0,
+             "restart_s": 1.0},
+            {"name": "Fig3/p_mean", "run_type": "aggregate", "real_time": 1.0,
+             "restart_s": 99.0},
+        ]
+    }
+    (tmp_path / "base").mkdir(parents=True)
+    (tmp_path / "fresh").mkdir(parents=True)
+    (tmp_path / "base" / FILE).write_text(json.dumps(payload))
+    (tmp_path / "fresh" / FILE).write_text(json.dumps(payload))
+    loaded = check_bench.load_benchmarks(str(tmp_path / "fresh" / FILE))
+    assert "Fig3/p_mean" not in loaded
+    assert check_bench.main(["--fresh", str(tmp_path / "fresh"),
+                             "--baseline", str(tmp_path / "base"),
+                             "--file", FILE]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,159 @@
+#include "apps/multi_job.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "common/rng.h"
+#include "cr/session.h"
+#include "guestfs/simplefs.h"
+#include "sim/when_all.h"
+
+namespace blobcr::apps {
+
+using core::Cloud;
+using core::Deployment;
+using sim::Task;
+
+namespace {
+
+/// Seed of the cross-job shared dataset: identical in every job, rank and
+/// round, so overlapping content dedups repository-wide.
+constexpr std::uint64_t kSharedSeed = 0x7e4a57ULL;
+
+std::uint64_t private_seed(std::size_t job, std::size_t instance, int round) {
+  return common::mix64(0x9e3779b97f4a7c15ULL * (job + 1) +
+                       0x100000001b3ULL * (instance + 1) +
+                       static_cast<std::uint64_t>(round));
+}
+
+/// Fill + dump + snapshot of one instance for one round. Records the
+/// buffer digest (restore verification) and the VM pause the guest saw.
+Task<> instance_round(Deployment* dep, const MultiJobRun* run,
+                      const TenantJobSpec* spec, std::size_t job_index,
+                      std::size_t instance, int round,
+                      std::uint64_t* digest_out, sim::Duration* downtime_out) {
+  std::uint64_t shared = static_cast<std::uint64_t>(
+      static_cast<double>(spec->buffer_bytes) * run->shared_fraction);
+  shared = std::min(shared, spec->buffer_bytes);
+  common::Buffer buf = common::Buffer::pattern(shared, kSharedSeed);
+  buf.append(common::Buffer::pattern(
+      spec->buffer_bytes - shared, private_seed(job_index, instance, round)));
+  *digest_out = buf.digest();
+
+  guestfs::SimpleFs* fs = dep->vm(instance).fs();
+  co_await fs->write_file("/data/buffer.bin", std::move(buf));
+  co_await fs->sync();
+  const core::InstanceSnapshot snap =
+      co_await dep->snapshot_instance(instance);
+  *downtime_out = snap.vm_downtime;
+}
+
+Task<> job_body(Cloud* cloud, const MultiJobRun* run, std::size_t job_index,
+                std::size_t node_offset, std::size_t restart_offset,
+                JobResult* out) {
+  const TenantJobSpec& spec = run->jobs[job_index];
+  sim::Simulation& sim = cloud->simulation();
+  co_await sim.delay(spec.stagger);
+
+  Deployment::Options dopts;
+  dopts.node_offset = node_offset;
+  dopts.tenant = out->tenant;
+  if (spec.async_flush) {
+    flush::FlushConfig fcfg;
+    fcfg.enabled = true;
+    dopts.flush = fcfg;
+  }
+  Deployment dep(*cloud, spec.instances, dopts);
+
+  cr::Session::Config scfg;
+  scfg.job = spec.name;
+  scfg.retention.keep_last = spec.keep_last;
+  cr::Session session(dep, scfg);
+
+  co_await dep.deploy_and_boot();
+
+  std::vector<std::uint64_t> digests(spec.instances, 0);
+  std::vector<sim::Duration> downtimes(spec.instances, 0);
+  for (int round = 0; round < spec.rounds; ++round) {
+    const sim::Time t0 = sim.now();
+    std::vector<Task<>> work;
+    work.reserve(spec.instances);
+    for (std::size_t i = 0; i < spec.instances; ++i) {
+      work.push_back(instance_round(&dep, run, &spec, job_index, i, round,
+                                    &digests[i], &downtimes[i]));
+    }
+    co_await sim::when_all(sim, std::move(work));
+    // Commit the round's line to this job's catalog; with the async
+    // pipeline this also waits out the drains, so the record is Complete.
+    (void)co_await session.commit_last();
+    out->checkpoint_times.push_back(sim.now() - t0);
+    out->blocked_times.push_back(
+        *std::max_element(downtimes.begin(), downtimes.end()));
+    if (spec.think_time > 0) co_await sim.delay(spec.think_time);
+  }
+
+  if (spec.do_restart) {
+    dep.destroy_all();
+    const sim::Time t0 = sim.now();
+    (void)co_await session.restart(cr::Selector::latest(), restart_offset,
+                                   /*cold_caches=*/true);
+    for (std::size_t i = 0; i < spec.instances; ++i) {
+      const common::Buffer back =
+          co_await dep.vm(i).fs()->read_file("/data/buffer.bin");
+      out->verified = out->verified && back.size() == spec.buffer_bytes &&
+                      back.digest() == digests[i];
+    }
+    out->restart_time = sim.now() - t0;
+  }
+
+  out->records = co_await session.list();
+  out->gc_reclaimed_bytes = session.gc_reclaimed_bytes();
+  if (cloud->blob_store() != nullptr) {
+    // Full admission wait: commit gate plus the fair manager queues. A
+    // fresh per-job tenant has no pre-job usage to subtract.
+    const blob::BlobStore::TenantUsage u =
+        cloud->blob_store()->tenant_usage_snapshot(out->tenant);
+    out->raw_bytes = u.raw_bytes;
+    out->shipped_bytes = u.shipped_bytes;
+    out->commit_wait = u.commit_wait;
+  }
+}
+
+Task<> multi_job_driver(Cloud* cloud, const MultiJobRun* run,
+                        MultiJobResult* result) {
+  co_await cloud->provision_base_image();
+  std::size_t total = 0;
+  for (const TenantJobSpec& spec : run->jobs) total += spec.instances;
+  assert(cloud->config().compute_nodes >= 2 * total &&
+         "need node room for every job plus its restart range");
+
+  std::vector<Task<>> jobs;
+  jobs.reserve(run->jobs.size());
+  std::size_t offset = 0;
+  for (std::size_t k = 0; k < run->jobs.size(); ++k) {
+    JobResult& out = result->jobs[k];
+    out.name = run->jobs[k].name;
+    out.tenant = cloud->register_tenant(run->jobs[k].name, run->jobs[k].weight);
+    // Jobs live on disjoint node ranges; a job's restart lands past every
+    // job's live range so restarted instances come up on fresh machines.
+    jobs.push_back(job_body(cloud, run, k, offset, total + offset, &out));
+    offset += run->jobs[k].instances;
+  }
+  co_await sim::when_all(cloud->simulation(), std::move(jobs));
+  result->repository_bytes = cloud->repository_bytes();
+}
+
+}  // namespace
+
+MultiJobResult run_multi_job(Cloud& cloud, const MultiJobRun& run) {
+  assert(cloud.config().backend == core::Backend::BlobCR &&
+         "the multi-tenant repository is the BlobCR backend");
+  MultiJobResult result;
+  result.jobs.resize(run.jobs.size());
+  cloud.run(multi_job_driver(&cloud, &run, &result));
+  return result;
+}
+
+}  // namespace blobcr::apps

@@ -18,6 +18,35 @@ using core::Cloud;
 using core::Deployment;
 using sim::Task;
 
+
+namespace {
+
+/// Usage baseline, captured after provisioning (the base-image upload runs
+/// as the default tenant and must not leak into a default-tenant job's
+/// numbers). Zero-valued on the PVFS baselines.
+blob::BlobStore::TenantUsage capture_usage(Cloud& cloud,
+                                           net::TenantId tenant) {
+  return cloud.blob_store() != nullptr
+             ? cloud.blob_store()->tenant_usage_snapshot(tenant)
+             : blob::BlobStore::TenantUsage{};
+}
+
+/// Copies the deployment tenant's repository usage since `base` into the
+/// result (BlobCR backend; the PVFS baselines have no shared repository
+/// accounting).
+void fill_tenant_counters(Cloud& cloud, Deployment& dep,
+                          const blob::BlobStore::TenantUsage& base,
+                          RunResult* result) {
+  if (cloud.blob_store() == nullptr) return;
+  const blob::BlobStore::TenantUsage u =
+      cloud.blob_store()->tenant_usage_snapshot(dep.tenant());
+  result->tenant_raw_bytes = u.raw_bytes - base.raw_bytes;
+  result->tenant_shipped_bytes = u.shipped_bytes - base.shipped_bytes;
+  result->tenant_commit_wait = u.commit_wait - base.commit_wait;
+}
+
+}  // namespace
+
 const char* mode_name(CkptMode mode) {
   switch (mode) {
     case CkptMode::AppLevel:
@@ -107,6 +136,8 @@ Task<> synthetic_driver(Cloud* cloud, SyntheticRun run, CkptMode mode,
   sim::Simulation& sim = cloud->simulation();
   co_await cloud->provision_base_image();
   Deployment dep(*cloud, run.instances);
+  const blob::BlobStore::TenantUsage usage_base =
+      capture_usage(*cloud, dep.tenant());
   cr::Session session(dep);  // checkpoint identity lives in the catalog
   sim::Time t0 = sim.now();
   co_await dep.deploy_and_boot();
@@ -186,6 +217,7 @@ Task<> synthetic_driver(Cloud* cloud, SyntheticRun run, CkptMode mode,
       }
     }
   }
+  fill_tenant_counters(*cloud, dep, usage_base, result);
 }
 
 }  // namespace
@@ -263,9 +295,8 @@ Task<> cm1_rank_body(Deployment* dep, cr::Session* session, Cm1Run run,
   co_await end_bar->arrive_and_wait();
 }
 
-Task<> cm1_restore_body(Deployment* dep, Cm1Run run, Cm1Config cfg,
-                        CkptMode mode, int rank,
-                        std::shared_ptr<Cm1Shared> shared,
+Task<> cm1_restore_body(Deployment* dep, Cm1Config cfg, CkptMode mode,
+                        int rank, std::shared_ptr<Cm1Shared> shared,
                         vm::GuestProcess* gp) {
   dep->mpi().rebind_rank(rank, gp);
   if (mode == CkptMode::AppLevel) {
@@ -288,6 +319,8 @@ Task<> cm1_driver(Cloud* cloud, Cm1Run run, CkptMode mode,
   sim::Simulation& sim = cloud->simulation();
   co_await cloud->provision_base_image();
   Deployment dep(*cloud, run.vms);
+  const blob::BlobStore::TenantUsage usage_base =
+      capture_usage(*cloud, dep.tenant());
   cr::Session session(dep);
   sim::Time t0 = sim.now();
   co_await dep.deploy_and_boot();
@@ -350,10 +383,8 @@ Task<> cm1_driver(Cloud* cloud, Cm1Run run, CkptMode mode,
         Deployment* dp = &dep;
         dep.vm(i).start_guest(
             common::strf("restore%d", rank),
-            [dp, run, cfg, mode, rank, shared](vm::GuestProcess& gp)
-                -> Task<> {
-              co_await cm1_restore_body(dp, run, cfg, mode, rank, shared,
-                                        &gp);
+            [dp, cfg, mode, rank, shared](vm::GuestProcess& gp) -> Task<> {
+              co_await cm1_restore_body(dp, cfg, mode, rank, shared, &gp);
             });
       }
     }
@@ -369,6 +400,7 @@ Task<> cm1_driver(Cloud* cloud, Cm1Run run, CkptMode mode,
       }
     }
   }
+  fill_tenant_counters(*cloud, dep, usage_base, result);
 }
 
 }  // namespace

@@ -75,6 +75,14 @@ struct RunResult {
   std::uint64_t restart_peer_bytes = 0;
   /// Digest verification outcome (real-data runs; true in phantom mode).
   bool verified = true;
+  /// Per-tenant repository accounting for this job (BlobCR backend),
+  /// measured from a post-provisioning baseline so it covers exactly this
+  /// job's commits: raw commit payload vs post-reduction bytes actually
+  /// shipped, and the time this tenant's requests spent queued at the
+  /// shared admission points (commit gate + fair manager queues).
+  std::uint64_t tenant_raw_bytes = 0;
+  std::uint64_t tenant_shipped_bytes = 0;
+  sim::Duration tenant_commit_wait = 0;
 };
 
 /// Runs the synthetic workload on an already-constructed cloud. The cloud's

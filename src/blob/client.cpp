@@ -75,27 +75,29 @@ const char* commit_stage_name(CommitStage s) {
 sim::Task<BlobId> BlobClient::create(std::uint64_t chunk_size) {
   if (chunk_size == 0) chunk_size = store_->config().default_chunk_size;
   const BlobId id =
-      co_await store_->version_manager().create(node_, chunk_size);
+      co_await store_->version_manager().create(node_, chunk_size, tenant_);
   chunk_size_cache_[id] = chunk_size;
   co_return id;
 }
 
 sim::Task<BlobId> BlobClient::clone(BlobId src, VersionId v) {
-  const BlobId id = co_await store_->version_manager().clone(node_, src, v);
+  const BlobId id =
+      co_await store_->version_manager().clone(node_, src, v, tenant_);
   co_return id;
 }
 
 sim::Task<BlobMeta> BlobClient::stat(BlobId blob) {
-  BlobMeta meta = co_await store_->version_manager().stat(node_, blob);
+  BlobMeta meta = co_await store_->version_manager().stat(node_, blob, tenant_);
   co_return meta;
 }
 
 sim::Task<> BlobClient::bind_name(const std::string& name, BlobId id) {
-  co_await store_->version_manager().bind_name(node_, name, id);
+  co_await store_->version_manager().bind_name(node_, name, id, tenant_);
 }
 
 sim::Task<BlobId> BlobClient::lookup_name(const std::string& name) {
-  co_return co_await store_->version_manager().lookup_name(node_, name);
+  co_return co_await store_->version_manager().lookup_name(node_, name,
+                                                           tenant_);
 }
 
 sim::Task<BlobClient::VersionEntry> BlobClient::resolve(BlobId blob,
@@ -104,7 +106,8 @@ sim::Task<BlobClient::VersionEntry> BlobClient::resolve(BlobId blob,
     const auto it = version_cache_.find(VersionKey{blob, version});
     if (it != version_cache_.end()) co_return it->second;
   }
-  const BlobMeta meta = co_await store_->version_manager().stat(node_, blob);
+  const BlobMeta meta =
+      co_await store_->version_manager().stat(node_, blob, tenant_);
   chunk_size_cache_[blob] = meta.chunk_size;
   if (version == 0) version = meta.latest();
   VersionEntry entry;
@@ -207,6 +210,18 @@ sim::Task<VersionId> BlobClient::write_extents_via(
   std::vector<ChunkLocation> locs(pieces.size());
   std::uint64_t stored_payload = payload_bytes;
 
+  // Commit admission: one slot per in-flight commit/drain, held from here
+  // through publish. With QoS on the gate admits tenants weighted-fair, so
+  // a bulk tenant's backlog cannot starve a small tenant's commit; with the
+  // gate unbounded (single-tenant default) this is a no-op. The permit
+  // releases as this frame unwinds — including on drain kill.
+  const sim::Time admit_start = store_->simulation().now();
+  net::FairGate::Permit admission = co_await store_->commit_gate().enter(
+      tenant_, static_cast<double>(payload_bytes));
+  (void)admission;
+  store_->account_commit_wait(tenant_,
+                              store_->simulation().now() - admit_start);
+
   // Reduced-path commit state, function-scoped so the guard's destructor
   // runs only after the version published (or on unwind): dedup Ref pins
   // must outlive the metadata co_awaits below — otherwise a GC running
@@ -219,7 +234,7 @@ sim::Task<VersionId> BlobClient::write_extents_via(
   struct CommitGuard {
     CommitReducer* red;
     const std::vector<ReducedChunk>* plans;
-    std::vector<ChunkId> indexed;  // chunks this commit put in the index
+    std::vector<ChunkId> indexed{};  // chunks this commit put in the index
     bool published = false;
     ~CommitGuard() {
       if (red == nullptr) return;
@@ -242,7 +257,7 @@ sim::Task<VersionId> BlobClient::write_extents_via(
     sizes.reserve(pieces.size());
     for (const Piece& p : pieces) sizes.push_back(p.length);
     locs = co_await store_->provider_manager().allocate(
-        node_, sizes, replication, store_->chunk_id_counter());
+        node_, sizes, replication, store_->chunk_id_counter(), tenant_);
 
     if (opts.probe != nullptr) co_await (*opts.probe)(CommitStage::Putting);
 
@@ -319,7 +334,7 @@ sim::Task<VersionId> BlobClient::write_extents_via(
     std::vector<ChunkLocation> alloc;
     if (!sizes.empty()) {
       alloc = co_await store_->provider_manager().allocate(
-          node_, sizes, replication, store_->chunk_id_counter());
+          node_, sizes, replication, store_->chunk_id_counter(), tenant_);
     }
     stored_payload = 0;
     for (std::size_t k = 0; k < store_idx.size(); ++k) {
@@ -402,8 +417,9 @@ sim::Task<VersionId> BlobClient::write_extents_via(
   if (opts.probe != nullptr) co_await (*opts.probe)(CommitStage::PrePublish);
   const VersionId v = co_await store_->version_manager().publish(
       node_, blob, new_root, new_size, chunk_bytes, meta_bytes,
-      opts.reserved_version);
+      opts.reserved_version, tenant_);
   guard.published = true;
+  store_->account_commit(tenant_, payload_bytes, stored_payload);
   version_cache_[VersionKey{blob, v}] =
       VersionEntry{new_root, new_size, chunk_size};
   if (opts.probe != nullptr) co_await (*opts.probe)(CommitStage::PostPublish);
@@ -495,7 +511,7 @@ sim::Task<common::Buffer> BlobClient::fetch_chunk(const ChunkLocation& loc) {
   // loss the repair service may have re-homed the chunk. Ask the provider
   // manager where it lives now before declaring it lost.
   const std::vector<net::NodeId> current =
-      co_await store_->provider_manager().locate(node_, loc.id);
+      co_await store_->provider_manager().locate(node_, loc.id, tenant_);
   for (const net::NodeId replica : current) {
     DataProvider* provider = store_->provider_at(replica);
     if (provider == nullptr || !provider->has(loc.id)) continue;

@@ -54,6 +54,12 @@ class BlobClient {
 
   net::NodeId node() const { return node_; }
 
+  /// Tags this client's repository requests with a tenant identity: shared
+  /// service queues dispatch (and account) per tenant, and the commit gate
+  /// admits per tenant. Default-tenant clients need no registration.
+  void set_tenant(net::TenantId tenant) { tenant_ = tenant; }
+  net::TenantId tenant() const { return tenant_; }
+
   sim::Task<BlobId> create(std::uint64_t chunk_size = 0);
   sim::Task<BlobId> clone(BlobId src, VersionId v);
   sim::Task<BlobMeta> stat(BlobId blob);
@@ -195,6 +201,7 @@ class BlobClient {
 
   BlobStore* store_;
   net::NodeId node_;
+  net::TenantId tenant_ = net::kDefaultTenant;
   std::unordered_map<NodeRef, TreeNode> node_cache_;
   std::unordered_map<VersionKey, VersionEntry, VersionKeyHash> version_cache_;
   std::unordered_map<BlobId, std::uint64_t> chunk_size_cache_;

@@ -17,9 +17,9 @@ namespace blobcr::blob {
 
 class DataProvider {
  public:
-  DataProvider(sim::Simulation& sim, net::Fabric& fabric, net::NodeId node,
+  DataProvider(sim::Simulation& /*sim*/, net::Fabric& fabric, net::NodeId node,
                storage::Disk& disk, std::uint64_t disk_stream)
-      : sim_(&sim), fabric_(&fabric), node_(node), store_(disk, disk_stream) {}
+      : fabric_(&fabric), node_(node), store_(disk, disk_stream) {}
 
   net::NodeId node() const { return node_; }
   bool alive() const { return alive_; }
@@ -60,7 +60,6 @@ class DataProvider {
   std::uint64_t lost_bytes() const { return lost_bytes_; }
 
  private:
-  sim::Simulation* sim_;
   net::Fabric* fabric_;
   net::NodeId node_;
   storage::ChunkStore store_;

@@ -38,15 +38,20 @@ class ProviderManager {
         service_(sim, "provider-manager", per_request_cost) {}
 
   net::NodeId node() const { return node_; }
+  /// The manager's request queue (BlobStore flips it to weighted-fair
+  /// dispatch when multi-tenant QoS is on).
+  net::ServiceQueue& service() { return service_; }
+  const net::ServiceQueue& service() const { return service_; }
 
   /// Allocates `chunk_sizes.size()` chunk placements with `replication`
   /// replicas each. One RPC round-trip (the request is a single message
   /// regardless of chunk count — BlobSeer clients ask once per write).
   sim::Task<std::vector<ChunkLocation>> allocate(
       net::NodeId client, const std::vector<std::uint32_t>& chunk_sizes,
-      int replication, ChunkId& next_chunk_id) {
+      int replication, ChunkId& next_chunk_id,
+      net::TenantId tenant = net::kDefaultTenant) {
     co_await fabric_->message(client, node_);
-    co_await service_.process();
+    co_await service_.process(tenant);
     std::vector<ChunkLocation> out;
     out.reserve(chunk_sizes.size());
     for (const std::uint32_t size : chunk_sizes) {
@@ -65,9 +70,11 @@ class ProviderManager {
   /// every replica listed in the (immutable) metadata is gone — the repair
   /// service keeps the registry current after node losses. Empty when the
   /// chunk is unknown.
-  sim::Task<std::vector<net::NodeId>> locate(net::NodeId client, ChunkId id) {
+  sim::Task<std::vector<net::NodeId>> locate(
+      net::NodeId client, ChunkId id,
+      net::TenantId tenant = net::kDefaultTenant) {
     co_await fabric_->message(client, node_);
-    co_await service_.process();
+    co_await service_.process(tenant);
     std::vector<net::NodeId> out;
     const auto it = placements_.find(id);
     if (it != placements_.end()) out = it->second.replicas;

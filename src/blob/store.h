@@ -18,6 +18,7 @@
 #include "blob/types.h"
 #include "blob/version_manager.h"
 #include "net/fabric.h"
+#include "net/qos.h"
 #include "sim/sim.h"
 #include "storage/disk.h"
 
@@ -45,6 +46,10 @@ class BlobStore {
     sim::Duration meta_request_cost = 30 * sim::kMicrosecond;
     sim::Duration manager_request_cost = 50 * sim::kMicrosecond;
     std::uint64_t meta_record_bytes = 64;
+    /// Multi-tenant admission control (see net/qos.h). qos.enabled turns on
+    /// weighted-fair ordering at the version/provider manager queues and the
+    /// commit gate; qos.commit_slots bounds concurrently admitted commits.
+    net::QosConfig qos;
   };
 
   BlobStore(sim::Simulation& sim, net::Fabric& fabric, const Config& cfg)
@@ -69,6 +74,12 @@ class BlobStore {
         cfg.manager_request_cost);
     version_manager_ = std::make_unique<VersionManager>(
         sim, fabric, cfg.version_manager_node, cfg.manager_request_cost);
+    commit_gate_ = std::make_unique<net::FairGate>(
+        sim, cfg.qos.commit_slots, &tenants_, cfg.qos.enabled);
+    if (cfg.qos.enabled) {
+      version_manager_->service().enable_fair(&tenants_);
+      provider_manager_->service().enable_fair(&tenants_);
+    }
   }
 
   const Config& config() const { return cfg_; }
@@ -103,6 +114,56 @@ class BlobStore {
 
   ChunkId& chunk_id_counter() { return next_chunk_id_; }
   NodeRef& node_ref_counter() { return next_node_ref_; }
+
+  // --- multi-tenant control plane -------------------------------------------
+
+  /// The repository-wide tenant table (identities + QoS weights). Tenant 0
+  /// is the implicit default for single-job deployments.
+  net::TenantRegistry& tenants() { return tenants_; }
+  const net::TenantRegistry& tenants() const { return tenants_; }
+
+  /// The repository's commit admission gate: every synchronous commit and
+  /// every asynchronous drain holds one slot from reduction through publish.
+  /// Disabled (unbounded) unless Config::qos.commit_slots > 0.
+  net::FairGate& commit_gate() { return *commit_gate_; }
+
+  /// Per-tenant repository usage, updated by BlobClient on the commit path.
+  struct TenantUsage {
+    std::uint64_t commits = 0;        // published commits
+    std::uint64_t raw_bytes = 0;      // pre-reduction commit payload
+    std::uint64_t shipped_bytes = 0;  // post-reduction payload stored
+    sim::Duration commit_wait = 0;    // admission wait at shared queues
+  };
+  const TenantUsage& tenant_usage(net::TenantId t) const {
+    static const TenantUsage kEmpty;
+    const auto it = usage_.find(t);
+    return it == usage_.end() ? kEmpty : it->second;
+  }
+  /// Total time `t`'s requests spent queued at the shared admission points:
+  /// the commit gate plus the (fair-mode) version/provider manager queues.
+  sim::Duration tenant_queue_wait(net::TenantId t) const {
+    return tenant_usage(t).commit_wait +
+           version_manager_->service().tenant_wait(t) +
+           provider_manager_->service().tenant_wait(t);
+  }
+  /// tenant_usage with commit_wait widened to the full queue wait above —
+  /// the snapshot drivers capture after provisioning and diff at job end,
+  /// so reported per-job counters cover exactly that job's commits.
+  TenantUsage tenant_usage_snapshot(net::TenantId t) const {
+    TenantUsage u = tenant_usage(t);
+    u.commit_wait = tenant_queue_wait(t);
+    return u;
+  }
+  void account_commit_wait(net::TenantId t, sim::Duration wait) {
+    usage_[t].commit_wait += wait;
+  }
+  void account_commit(net::TenantId t, std::uint64_t raw_bytes,
+                      std::uint64_t shipped_bytes) {
+    TenantUsage& u = usage_[t];
+    ++u.commits;
+    u.raw_bytes += raw_bytes;
+    u.shipped_bytes += shipped_bytes;
+  }
 
   /// Chunk-reclaim observers: the reduction subsystem's digest indexes must
   /// drop entries for chunks the garbage collector deletes, otherwise a
@@ -145,11 +206,15 @@ class BlobStore {
   sim::Simulation* sim_;
   net::Fabric* fabric_;
   Config cfg_;
+  /// Declared before the managers: their fair queues hold registry pointers.
+  net::TenantRegistry tenants_;
+  std::unordered_map<net::TenantId, TenantUsage> usage_;
   std::vector<std::unique_ptr<DataProvider>> providers_;
   std::unordered_map<net::NodeId, DataProvider*> by_node_;
   std::unique_ptr<MetadataCluster> metadata_;
   std::unique_ptr<ProviderManager> provider_manager_;
   std::unique_ptr<VersionManager> version_manager_;
+  std::unique_ptr<net::FairGate> commit_gate_;
   ChunkId next_chunk_id_ = 1;
   NodeRef next_node_ref_ = 1;
   std::vector<std::pair<std::uint64_t, ChunkReclaimHook>> reclaim_hooks_;

@@ -22,9 +22,14 @@ class VersionManager {
         service_(sim, "version-manager", per_request_cost) {}
 
   net::NodeId node() const { return node_; }
+  /// The manager's request queue (BlobStore flips it to weighted-fair
+  /// dispatch when multi-tenant QoS is on).
+  net::ServiceQueue& service() { return service_; }
+  const net::ServiceQueue& service() const { return service_; }
 
-  sim::Task<BlobId> create(net::NodeId client, std::uint64_t chunk_size) {
-    co_await round_trip(client);
+  sim::Task<BlobId> create(net::NodeId client, std::uint64_t chunk_size,
+                           net::TenantId tenant = net::kDefaultTenant) {
+    co_await round_trip(client, tenant);
     const BlobId id = next_blob_id_++;
     BlobMeta meta;
     meta.id = id;
@@ -34,8 +39,9 @@ class VersionManager {
   }
 
   /// CLONE: a standalone blob sharing all content with (src, v).
-  sim::Task<BlobId> clone(net::NodeId client, BlobId src, VersionId v) {
-    co_await round_trip(client);
+  sim::Task<BlobId> clone(net::NodeId client, BlobId src, VersionId v,
+                          net::TenantId tenant = net::kDefaultTenant) {
+    co_await round_trip(client, tenant);
     const BlobMeta& source = lookup(src);
     const VersionInfo& sv = source.version(v);
     if (sv.pending) throw BlobError("cannot clone a version not yet published");
@@ -59,8 +65,9 @@ class VersionManager {
   /// publish. The slot is recorded as pending — invisible to readers and to
   /// latest() — until publish() fills it, so snapshot numbering stays dense
   /// and reflects stage order even when drains complete later.
-  sim::Task<VersionId> reserve(net::NodeId client, BlobId blob) {
-    co_await round_trip(client);
+  sim::Task<VersionId> reserve(net::NodeId client, BlobId blob,
+                               net::TenantId tenant = net::kDefaultTenant) {
+    co_await round_trip(client, tenant);
     BlobMeta& meta = lookup(blob);
     VersionInfo v;
     v.id = static_cast<VersionId>(meta.versions.size() + 1);
@@ -76,8 +83,9 @@ class VersionManager {
   sim::Task<VersionId> publish(net::NodeId client, BlobId blob, NodeRef root,
                                std::uint64_t size, std::uint64_t new_chunk_bytes,
                                std::uint64_t new_meta_bytes,
-                               VersionId reserved = 0) {
-    co_await round_trip(client);
+                               VersionId reserved = 0,
+                               net::TenantId tenant = net::kDefaultTenant) {
+    co_await round_trip(client, tenant);
     BlobMeta& meta = lookup(blob);
     if (reserved != 0) {
       if (reserved > meta.versions.size())
@@ -104,8 +112,9 @@ class VersionManager {
     co_return v.id;
   }
 
-  sim::Task<BlobMeta> stat(net::NodeId client, BlobId blob) {
-    co_await round_trip(client);
+  sim::Task<BlobMeta> stat(net::NodeId client, BlobId blob,
+                           net::TenantId tenant = net::kDefaultTenant) {
+    co_await round_trip(client, tenant);
     co_return lookup(blob);
   }
 
@@ -115,15 +124,17 @@ class VersionManager {
   /// resident state it never created. Last bind wins; names are never
   /// implicitly unbound.
   sim::Task<> bind_name(net::NodeId client, const std::string& name,
-                        BlobId id) {
-    co_await round_trip(client);
+                        BlobId id,
+                        net::TenantId tenant = net::kDefaultTenant) {
+    co_await round_trip(client, tenant);
     if (!exists(id)) throw BlobError("bind_name to unknown blob");
     names_[name] = id;
   }
 
   /// Resolves a bound name; 0 when the name was never bound.
-  sim::Task<BlobId> lookup_name(net::NodeId client, const std::string& name) {
-    co_await round_trip(client);
+  sim::Task<BlobId> lookup_name(net::NodeId client, const std::string& name,
+                                net::TenantId tenant = net::kDefaultTenant) {
+    co_await round_trip(client, tenant);
     const auto it = names_.find(name);
     co_return it == names_.end() ? 0 : it->second;
   }
@@ -161,9 +172,9 @@ class VersionManager {
     return it->second;
   }
 
-  sim::Task<> round_trip(net::NodeId client) {
+  sim::Task<> round_trip(net::NodeId client, net::TenantId tenant) {
     co_await fabric_->message(client, node_);
-    co_await service_.process();
+    co_await service_.process(tenant);
     co_await fabric_->message(node_, client);
   }
 

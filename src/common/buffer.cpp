@@ -24,7 +24,16 @@ Buffer Buffer::real(std::vector<std::byte> data) {
 }
 
 Buffer Buffer::zeros(std::size_t n) {
-  return real(std::vector<std::byte>(n, std::byte{0}));
+  // Built in place (not via real()) — the moved-temporary form trips
+  // gcc-12's -Wfree-nonheap-object false positive under -O3 inlining.
+  Buffer b;
+  b.size_ = n;
+  if (n > 0) {
+    Segment seg;
+    seg.data.assign(n, std::byte{0});
+    b.segs_.push_back(std::move(seg));
+  }
+  return b;
 }
 
 Buffer Buffer::pattern(std::size_t n, std::uint64_t seed) {

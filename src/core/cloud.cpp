@@ -6,6 +6,7 @@
 #include "common/strutil.h"
 #include "flush/flush_agent.h"
 #include "img/mem_device.h"
+#include "reduce/digest_index.h"
 #include "reduce/reducer.h"
 #include "sim/when_all.h"
 #include "vm/guest_os.h"
@@ -51,7 +52,7 @@ Cloud::Cloud(CloudConfig cfg) : cfg_(std::move(cfg)) {
   streams_.resize(total);
   for (std::size_t n = 0; n < total; ++n) {
     disks_.push_back(std::make_unique<storage::Disk>(
-        sim_, "disk" + std::to_string(n), dcfg));
+        sim_, common::strf("disk%zu", n), dcfg));
   }
 
   if (cfg_.backend == Backend::BlobCR) {
@@ -66,6 +67,7 @@ Cloud::Cloud(CloudConfig cfg) : cfg_(std::move(cfg)) {
     }
     bcfg.default_chunk_size = cfg_.chunk_size;
     bcfg.replication = cfg_.replication;
+    bcfg.qos = cfg_.qos;
     blob_ = std::make_unique<blob::BlobStore>(sim_, *fabric_, bcfg);
   } else {
     pfs::PvfsCluster::Config pcfg;
@@ -158,6 +160,28 @@ sim::Task<> Cloud::provision_base_image() {
   base_uploaded_ = true;
 }
 
+net::TenantId Cloud::register_tenant(const std::string& name, double weight) {
+  if (blob_ != nullptr) return blob_->tenants().register_tenant(name, weight);
+  // PVFS baselines have no QoS-enforcing repository; ids still namespace
+  // per-job artifacts and counters.
+  return ++pvfs_tenant_seq_;
+}
+
+reduce::ChunkDigestIndex* Cloud::shared_digest_index() {
+  if (blob_ == nullptr) return nullptr;
+  if (shared_index_ == nullptr) {
+    shared_index_ = std::make_unique<reduce::ChunkDigestIndex>();
+    // One repository-lifetime reclaim hook: entries must drop when the GC
+    // reclaims chunks even while no deployment (and thus no reducer) is
+    // alive — e.g. a retention sweep between jobs.
+    blob_->add_chunk_reclaim_hook(
+        [index = shared_index_.get()](const std::vector<blob::ChunkId>& ids) {
+          index->forget_chunks(ids);
+        });
+  }
+  return shared_index_.get();
+}
+
 void Cloud::fail_node(net::NodeId node) {
   if (blob_) blob_->fail_node(node);
 }
@@ -172,9 +196,16 @@ std::uint64_t Cloud::repository_bytes() const {
 
 Deployment::Deployment(Cloud& cloud, std::size_t instances,
                        std::size_t node_offset)
+    : Deployment(cloud, instances, Options{node_offset, net::kDefaultTenant,
+                                           std::nullopt}) {}
+
+Deployment::Deployment(Cloud& cloud, std::size_t instances,
+                       const Options& opts)
     : cloud_(&cloud),
       count_(instances),
-      node_offset_(node_offset),
+      node_offset_(opts.node_offset),
+      tenant_(opts.tenant),
+      flush_cfg_(opts.flush.has_value() ? *opts.flush : cloud.config().flush),
       seq_(cloud.next_deployment_seq()) {
   PrefetchBus::Config bcfg;
   bcfg.hint_latency = cloud.config().hint_latency;
@@ -183,8 +214,13 @@ Deployment::Deployment(Cloud& cloud, std::size_t instances,
   bus_ = std::make_unique<PrefetchBus>(cloud.simulation(), bcfg);
   if (cloud.config().backend == Backend::BlobCR &&
       cloud.config().reduction.enabled) {
-    reducer_ = std::make_unique<reduce::Reducer>(*cloud.blob_store(),
-                                                 cloud.config().reduction);
+    // The digest index is repository-scoped by default — concurrent jobs
+    // dedup against each other's committed chunks — while the reducer
+    // (stats, epochs, in-flight pins) stays deployment-scoped.
+    reducer_ = std::make_unique<reduce::Reducer>(
+        *cloud.blob_store(), cloud.config().reduction,
+        cloud.config().reduction.shared_index ? cloud.shared_digest_index()
+                                              : nullptr);
   }
   mpi_ = std::make_unique<mpi::MpiWorld>(cloud.simulation(), cloud.fabric());
 }
@@ -204,7 +240,8 @@ void Deployment::build_instance_fresh(std::size_t i, net::NodeId node) {
   if (cfg.backend == Backend::BlobCR) {
     MirrorDevice::Config mcfg;
     mcfg.capacity = cloud.image_size();
-    mcfg.flush = cfg.flush;
+    mcfg.flush = flush_cfg_;
+    mcfg.tenant = tenant_;
     inst->mirror = std::make_unique<MirrorDevice>(
         *cloud.blob_store(), node, cloud.disk(node),
         cloud.next_disk_stream(node), cloud.base_blob(), 1, mcfg,
@@ -383,8 +420,7 @@ void Deployment::fail_instance(std::size_t i) {
 }
 
 bool Deployment::flush_enabled() const {
-  return cloud_->config().backend == Backend::BlobCR &&
-         cloud_->config().flush.enabled;
+  return cloud_->config().backend == Backend::BlobCR && flush_cfg_.enabled;
 }
 
 sim::Task<> Deployment::wait_drained(std::size_t i) {
@@ -406,7 +442,8 @@ sim::Task<> Deployment::build_instance_from_snapshot(std::size_t i,
   if (cfg.backend == Backend::BlobCR) {
     MirrorDevice::Config mcfg;
     mcfg.capacity = cloud.image_size();
-    mcfg.flush = cfg.flush;
+    mcfg.flush = flush_cfg_;
+    mcfg.tenant = tenant_;
     inst->mirror = std::make_unique<MirrorDevice>(
         *cloud.blob_store(), node, cloud.disk(node),
         cloud.next_disk_stream(node), snap.image, snap.version, mcfg,

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "vm/vm_instance.h"
 
 namespace blobcr::reduce {
+class ChunkDigestIndex;
 class Reducer;
 }
 
@@ -62,6 +64,11 @@ struct CloudConfig {
   /// Snapshot data-reduction pipeline on the commit path (BlobCR backend
   /// only). Off by default; see src/reduce/reduction.h for the knobs.
   reduce::ReductionConfig reduction;
+  /// Multi-tenant admission control at the repository's shared services
+  /// (BlobCR backend only): weighted-fair per-tenant ordering at the
+  /// version/provider manager queues and a bounded commit gate. Off (FIFO,
+  /// unbounded commits) by default; see net/qos.h.
+  net::QosConfig qos;
   /// Asynchronous commit pipeline (BlobCR backend only). Off by default;
   /// see src/flush/flush.h for the knobs and failure semantics.
   flush::FlushConfig flush;
@@ -183,6 +190,20 @@ class Cloud {
   /// snapshot files on PVFS).
   std::uint64_t next_deployment_seq() { return ++deployment_seq_; }
 
+  // --- multi-tenancy --------------------------------------------------------
+
+  /// Registers a job with the repository's tenant table and returns its
+  /// TenantId (tag Deployment::Options::tenant with it). `weight` is the
+  /// job's relative share at the QoS-controlled service queues. Works on
+  /// every backend; only the BlobCR repository enforces weights.
+  net::TenantId register_tenant(const std::string& name, double weight = 1.0);
+
+  /// The repository-scoped chunk digest index shared by every deployment
+  /// whose ReductionConfig::shared_index is on (lazily created; one GC
+  /// reclaim hook, owned here, keeps it honest across deployment
+  /// lifetimes). nullptr on non-BlobCR backends.
+  reduce::ChunkDigestIndex* shared_digest_index();
+
  private:
   CloudConfig cfg_;
   sim::Simulation sim_;
@@ -190,6 +211,9 @@ class Cloud {
   std::vector<std::unique_ptr<storage::Disk>> disks_;
   std::vector<storage::StreamIdAllocator> streams_;
   std::unique_ptr<blob::BlobStore> blob_;
+  /// Declared after blob_: destroyed first, while the store (whose reclaim
+  /// hook references it) never fires hooks during its own destruction.
+  std::unique_ptr<reduce::ChunkDigestIndex> shared_index_;
   std::unique_ptr<pfs::PvfsCluster> pvfs_;
   std::unordered_map<net::NodeId, std::unique_ptr<DecodedChunkCache>>
       chunk_caches_;
@@ -198,10 +222,24 @@ class Cloud {
   blob::BlobId base_blob_ = 0;
   std::string base_pvfs_path_;
   std::uint64_t deployment_seq_ = 0;
+  net::TenantId pvfs_tenant_seq_ = 0;  // fallback ids for non-BlobCR backends
 };
 
 class Deployment {
  public:
+  /// Per-job construction knobs for multi-tenant clouds. The defaults give
+  /// the classic single-job deployment (default tenant, cloud-level flush).
+  struct Options {
+    std::size_t node_offset = 0;
+    /// Repository tenant identity (from Cloud::register_tenant). Tags every
+    /// repository request of this deployment's instances for QoS admission
+    /// and per-tenant accounting.
+    net::TenantId tenant = net::kDefaultTenant;
+    /// Per-job override of CloudConfig::flush (a bulk job can drain
+    /// asynchronously while an interactive job commits synchronously).
+    std::optional<flush::FlushConfig> flush;
+  };
+
   struct Instance {
     std::size_t index = 0;
     net::NodeId node = 0;
@@ -227,10 +265,16 @@ class Deployment {
 
   Deployment(Cloud& cloud, std::size_t instances,
              std::size_t node_offset = 0);
+  Deployment(Cloud& cloud, std::size_t instances, const Options& opts);
   ~Deployment();
 
   std::size_t size() const { return count_; }
   Cloud& cloud() const { return *cloud_; }
+  /// The repository tenant this deployment's instances commit as.
+  net::TenantId tenant() const { return tenant_; }
+  /// The flush configuration this deployment's mirrors actually run
+  /// (Options::flush override, else CloudConfig::flush).
+  const flush::FlushConfig& flush_config() const { return flush_cfg_; }
   Instance& instance(std::size_t i) { return *instances_.at(i); }
   vm::VmInstance& vm(std::size_t i) { return *instances_.at(i)->vm; }
   mpi::MpiWorld& mpi() { return *mpi_; }
@@ -311,6 +355,8 @@ class Deployment {
   Cloud* cloud_;
   std::size_t count_;
   std::size_t node_offset_;
+  net::TenantId tenant_;
+  flush::FlushConfig flush_cfg_;  // resolved Options::flush override
   std::uint64_t seq_;  // unique per deployment; namespaces snapshot files
   /// The restart scheduler runs in the background (it references the
   /// instances' mirrors, so it is killed before they are torn down).

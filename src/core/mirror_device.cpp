@@ -35,6 +35,7 @@ MirrorDevice::MirrorDevice(blob::BlobStore& store, net::NodeId host,
       fetch_done_(store.simulation()),
       node_cache_(node_cache) {
   assert(cfg_.capacity > 0);
+  client_.set_tenant(cfg_.tenant);
   prefetch_slots_ = std::make_unique<sim::Semaphore>(
       store.simulation(), static_cast<std::int64_t>(cfg_.prefetch_streams));
   if (bus_ != nullptr) bus_->attach(this);

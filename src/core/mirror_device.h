@@ -52,6 +52,9 @@ class MirrorDevice : public img::BlockDevice {
     /// freezes the dirty set and returns a provisional version while a
     /// background agent drains it to the repository.
     flush::FlushConfig flush;
+    /// Repository tenant this device's commits and fetches run as (QoS
+    /// admission + per-tenant accounting at the shared store).
+    net::TenantId tenant = net::kDefaultTenant;
   };
 
   MirrorDevice(blob::BlobStore& store, net::NodeId host,

@@ -120,11 +120,18 @@ WireRequest parse_request(std::string_view text) {
 }
 
 std::string encode_response(const WireResponse& resp) {
+  // Piecewise appends: the `"a" + str + "b"` temporary chain trips gcc-12's
+  // -Wrestrict false positive under -O3 inlining (and allocates more).
   std::string out(kVersion);
-  out += " " + std::to_string(resp.status) + " " + resp.reason;
+  out += ' ';
+  out += std::to_string(resp.status);
+  out += ' ';
+  out += resp.reason;
   out += kCrlf;
   for (const auto& [k, v] : resp.fields) {
-    out += k + ": " + v;
+    out += k;
+    out += ": ";
+    out += v;
     out += kCrlf;
   }
   out += kCrlf;

@@ -155,6 +155,7 @@ Catalog::Catalog(core::Cloud& cloud, Config cfg)
   if (cloud.blob_store() != nullptr) {
     blob_client_ = std::make_unique<blob::BlobClient>(*cloud.blob_store(),
                                                       cfg_.client_node);
+    blob_client_->set_tenant(cfg_.tenant);
   } else {
     pvfs_client_ =
         std::make_unique<pfs::PvfsClient>(*cloud.pvfs(), cfg_.client_node);

@@ -15,9 +15,23 @@ namespace blobcr::cr {
 using core::Deployment;
 using sim::Task;
 
+namespace {
+
+/// Applies the per-job namespacing and tenant identity before the catalog
+/// is constructed from the config.
+Session::Config finalize(const Deployment& dep, Session::Config cfg) {
+  if (!cfg.job.empty()) cfg.catalog.name += "/" + cfg.job;
+  if (cfg.catalog.tenant == net::kDefaultTenant) {
+    cfg.catalog.tenant = dep.tenant();
+  }
+  return cfg;
+}
+
+}  // namespace
+
 Session::Session(Deployment& deployment, Config cfg)
     : dep_(&deployment),
-      cfg_(std::move(cfg)),
+      cfg_(finalize(deployment, std::move(cfg))),
       catalog_(deployment.cloud(), cfg_.catalog) {}
 
 Task<> Session::init_lineage() {

@@ -72,7 +72,8 @@ sim::Task<blob::VersionId> FlushAgent::submit(blob::BlobId blob,
   c.staged_at = store_->simulation().now();
   // Reserve the version slot now: the provisional id handed back is the id
   // the drain will publish, and numbering reflects capture order.
-  c.reserved = co_await store_->version_manager().reserve(client_->node(), blob);
+  c.reserved = co_await store_->version_manager().reserve(
+      client_->node(), blob, client_->tenant());
   if (dead_) throw blob::BlobError("flush agent fail-stopped");
   const blob::VersionId reserved = c.reserved;
   ++stats_.commits_staged;

@@ -217,9 +217,18 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
   const std::size_t n = cfg->instances;
   co_await cloud->provision_base_image();
 
+  // Usage baseline after provisioning: the reported tenant_* counters cover
+  // exactly this job's commits (a default-tenant job must not inherit the
+  // base-image upload, which also runs as tenant 0).
+  const blob::BlobStore::TenantUsage usage_base =
+      cloud->blob_store() != nullptr
+          ? cloud->blob_store()->tenant_usage_snapshot(cfg->tenant)
+          : blob::BlobStore::TenantUsage{};
+
   auto holder = std::make_shared<DepHolder>();
   std::size_t shift = 0;
-  holder->dep = std::make_unique<Deployment>(*cloud, n, shift);
+  holder->dep = std::make_unique<Deployment>(
+      *cloud, n, Deployment::Options{shift, cfg->tenant, std::nullopt});
   co_await holder->dep->deploy_and_boot();
   holder->dep->mpi().set_size(static_cast<int>(n));
 
@@ -230,6 +239,7 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
   if (scfg.retention.keep_last == 0 && cfg->gc_keep_last > 0) {
     scfg.retention.keep_last = static_cast<std::size_t>(cfg->gc_keep_last);
   }
+  scfg.job = cfg->job;
   auto session = std::make_unique<cr::Session>(*holder->dep, scfg);
 
   auto st = std::make_shared<JobShared>(sim, n);
@@ -348,7 +358,8 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
         // Failure during the initial checkpoint: no rollback target exists,
         // so resubmit from scratch — a fresh deployment from the base image.
         co_await session->abandon_staged();
-        holder->dep = std::make_unique<Deployment>(*cloud, n, shift);
+        holder->dep = std::make_unique<Deployment>(
+            *cloud, n, Deployment::Options{shift, cfg->tenant, std::nullopt});
         co_await holder->dep->deploy_and_boot();
         holder->dep->mpi().set_size(static_cast<int>(n));
         session->attach(*holder->dep);
@@ -374,6 +385,14 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
   report->makespan = sim.now() - job_start;
   report->useful_work = completed;
   report->gc_reclaimed_bytes = session->gc_reclaimed_bytes();
+  if (cloud->blob_store() != nullptr) {
+    const blob::BlobStore::TenantUsage usage =
+        cloud->blob_store()->tenant_usage_snapshot(cfg->tenant);
+    report->tenant_raw_bytes = usage.raw_bytes - usage_base.raw_bytes;
+    report->tenant_shipped_bytes =
+        usage.shipped_bytes - usage_base.shipped_bytes;
+    report->tenant_commit_wait = usage.commit_wait - usage_base.commit_wait;
+  }
   report->ckpt_blocked = st->ckpt_blocked;
   report->completed = !gave_up && completed >= cfg->total_work;
   if (cfg->real_data) {

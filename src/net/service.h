@@ -2,12 +2,20 @@
 // CPU cost and bounded concurrency (1 worker = fully serialized, the PVFS
 // metadata-server case). Also provides an RPC convenience that combines
 // request transfer, server processing and response transfer.
+//
+// Multi-tenant repositories can switch a queue to weighted-fair admission
+// (enable_fair): requests tagged with a TenantId are then dispatched in
+// start-time-fair order instead of FIFO, so one tenant's backlog cannot
+// starve another tenant's single request. Untagged requests run as the
+// default tenant.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "net/fabric.h"
+#include "net/qos.h"
 #include "sim/sim.h"
 
 namespace blobcr::net {
@@ -19,12 +27,36 @@ class ServiceQueue {
       : name_(std::move(name)),
         per_request_cost_(per_request_cost),
         sim_(&sim),
+        worker_count_(workers),
         workers_(sim, workers) {}
 
-  /// Occupies a worker for the request cost.
-  sim::Task<> process() { return process(per_request_cost_); }
+  /// Switches this queue to weighted-fair dispatch over `registry`'s tenant
+  /// weights (same worker capacity; only the ordering changes). Call before
+  /// traffic starts — waiters queued under the old discipline stay there.
+  void enable_fair(const TenantRegistry* registry) {
+    if (fair_ == nullptr) {
+      fair_ = std::make_unique<FairGate>(
+          *sim_, static_cast<std::size_t>(worker_count_), registry,
+          /*fair=*/true);
+    }
+  }
+  bool fair_enabled() const { return fair_ != nullptr; }
 
-  sim::Task<> process(sim::Duration cost) {
+  /// Occupies a worker for the request cost.
+  sim::Task<> process() { return process(kDefaultTenant, per_request_cost_); }
+  sim::Task<> process(TenantId tenant) {
+    return process(tenant, per_request_cost_);
+  }
+
+  sim::Task<> process(TenantId tenant, sim::Duration cost) {
+    if (fair_ != nullptr) {
+      FairGate::Permit permit =
+          co_await fair_->enter(tenant, sim::to_seconds(cost));
+      (void)permit;
+      ++requests_;
+      co_await sim_->delay(cost);
+      co_return;  // permit releases (RAII) — also on kill-unwind
+    }
     co_await workers_.acquire();
     // RAII: a client process fail-stopped mid-request (crash harness, FT
     // injection) must return the worker, or a 1-worker service — the
@@ -38,14 +70,22 @@ class ServiceQueue {
   }
 
   std::uint64_t requests_served() const { return requests_; }
-  std::size_t queue_depth() const { return workers_.waiting(); }
+  std::size_t queue_depth() const {
+    return fair_ != nullptr ? fair_->pending() : workers_.waiting();
+  }
+  /// Per-tenant cumulative admission wait (zero unless fair mode is on).
+  sim::Duration tenant_wait(TenantId tenant) const {
+    return fair_ != nullptr ? fair_->wait_time(tenant) : 0;
+  }
   const std::string& name() const { return name_; }
 
  private:
   std::string name_;
   sim::Duration per_request_cost_;
   sim::Simulation* sim_;
+  std::int64_t worker_count_;
   sim::Semaphore workers_;
+  std::unique_ptr<FairGate> fair_;
   std::uint64_t requests_ = 0;
 };
 

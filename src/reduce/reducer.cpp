@@ -9,12 +9,20 @@
 
 namespace blobcr::reduce {
 
-Reducer::Reducer(blob::BlobStore& store, const ReductionConfig& cfg)
-    : store_(&store), cfg_(cfg) {
-  hook_id_ = store_->add_chunk_reclaim_hook(
-      [this](const std::vector<blob::ChunkId>& ids) {
-        index_.forget_chunks(ids);
-      });
+Reducer::Reducer(blob::BlobStore& store, const ReductionConfig& cfg,
+                 ChunkDigestIndex* shared_index)
+    : store_(&store),
+      cfg_(cfg),
+      index_(shared_index != nullptr ? shared_index : &own_index_) {
+  if (!shares_index()) {
+    // An isolated index is this reducer's own: hook GC reclaim ourselves.
+    // A shared (repository-scoped) index outlives every deployment, so its
+    // owner — the Cloud — holds the one reclaim hook for it.
+    hook_id_ = store_->add_chunk_reclaim_hook(
+        [this](const std::vector<blob::ChunkId>& ids) {
+          index_->forget_chunks(ids);
+        });
+  }
   pin_source_id_ = store_->add_chunk_pin_source(
       [this](std::unordered_set<blob::ChunkId>& out) {
         for (const auto& [id, count] : pinned_) out.insert(id);
@@ -22,7 +30,7 @@ Reducer::Reducer(blob::BlobStore& store, const ReductionConfig& cfg)
 }
 
 Reducer::~Reducer() {
-  store_->remove_chunk_reclaim_hook(hook_id_);
+  if (hook_id_ != 0) store_->remove_chunk_reclaim_hook(hook_id_);
   store_->remove_chunk_pin_source(pin_source_id_);
 }
 
@@ -58,7 +66,8 @@ sim::Task<blob::ReducedChunk> Reducer::reduce(net::NodeId node,
   const bool dedupable = cfg_.dedup && payload.fully_real();
   if (dedupable) {
     out.digest = payload.digest();
-    if (const blob::ChunkLocation* loc = index_.lookup(out.digest, raw_size)) {
+    if (const blob::ChunkLocation* loc =
+            index_->lookup(out.digest, raw_size)) {
       out.kind = blob::ReducedChunk::Kind::Ref;
       out.ref = *loc;
       // Pin until the referencing commit publishes (or fails): the GC
@@ -109,7 +118,7 @@ sim::Task<blob::ReducedChunk> Reducer::reduce(net::NodeId node,
 }
 
 void Reducer::committed(std::uint64_t digest, const blob::ChunkLocation& loc) {
-  index_.record(digest, loc.logical(), loc);
+  index_->record(digest, loc.logical(), loc);
 }
 
 void Reducer::account_stored(std::uint32_t raw_size,
@@ -134,7 +143,7 @@ void Reducer::release_refs(const std::vector<blob::ChunkId>& ids) {
 void Reducer::forget_indexed(const std::vector<blob::ChunkId>& ids) {
   // forget_chunks only drops the withdrawn chunks' own locations; identical
   // content another commit stored stays indexed (fallback entries).
-  index_.forget_chunks(ids);
+  index_->forget_chunks(ids);
 }
 
 }  // namespace blobcr::reduce

@@ -28,7 +28,12 @@ namespace blobcr::reduce {
 class Reducer final : public blob::CommitReducer {
  public:
   /// Registers with the store so GC invalidates the index on reclaim.
-  Reducer(blob::BlobStore& store, const ReductionConfig& cfg);
+  /// With a `shared_index` (the repository-scoped index owned by the Cloud)
+  /// this reducer records into and dedups against it — cross-job dedup —
+  /// and its owner is responsible for the reclaim hook; without one, the
+  /// reducer owns an isolated per-deployment index and hooks it itself.
+  Reducer(blob::BlobStore& store, const ReductionConfig& cfg,
+          ChunkDigestIndex* shared_index = nullptr);
   ~Reducer() override;
 
   Reducer(const Reducer&) = delete;
@@ -53,12 +58,17 @@ class Reducer final : public blob::CommitReducer {
   const ReductionStats& stats() const { return stats_; }
   /// Stats accumulated since the current epoch opened.
   ReductionStats epoch_stats() const { return stats_ - epoch_base_; }
-  ChunkDigestIndex& index() { return index_; }
+  ChunkDigestIndex& index() { return *index_; }
+  /// True when this reducer dedups against the repository-scoped index.
+  bool shares_index() const { return index_ != &own_index_; }
 
  private:
   blob::BlobStore* store_;
   ReductionConfig cfg_;
-  ChunkDigestIndex index_;
+  ChunkDigestIndex own_index_;
+  /// The index this pipeline dedups against: the Cloud's repository-scoped
+  /// index (multi-tenant) or own_index_ (isolated).
+  ChunkDigestIndex* index_;
   ReductionStats stats_;
   ReductionStats epoch_base_;
   std::uint64_t hook_id_ = 0;

@@ -35,6 +35,12 @@ struct ReductionConfig {
   /// Only fully-real payloads are deduped: a phantom payload's digest is
   /// length-derived, so deduping it would fabricate savings.
   bool dedup = true;
+  /// Repository-scoped digest index: every deployment (job) checkpointing
+  /// into the same Cloud dedups against every other's committed chunks —
+  /// shared base images and shared input datasets store once across jobs.
+  /// false falls back to an isolated per-deployment index (the pre-multi-
+  /// tenant behavior; the multitenant ablation's baseline).
+  bool shared_index = true;
   /// Compress chunk payloads (RLE for real payloads, ratio model for pure
   /// phantom payloads). Off by default: the paper's workloads are random
   /// data, where compression only adds cost.

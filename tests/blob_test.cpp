@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/strutil.h"
 #include "blob/client.h"
 #include "blob/gc.h"
 #include "blob/store.h"
@@ -52,7 +53,7 @@ struct TestCluster {
     for (std::size_t i = 0; i < n_data; ++i) {
       const net::NodeId node = static_cast<net::NodeId>(2 + n_meta + i);
       disks.push_back(std::make_unique<storage::Disk>(
-          sim, "disk" + std::to_string(node), dcfg));
+          sim, common::strf("disk%u", node), dcfg));
       cfg.data_providers.push_back({node, disks.back().get(), 1});
     }
     cfg.default_chunk_size = chunk_size;

@@ -50,8 +50,11 @@ struct TestRig {
     dcfg.bandwidth_bps = 1e9;
     dcfg.position_cost = sim::kMillisecond;
     for (std::size_t i = 0; i < n_data + 2; ++i) {
-      disks.push_back(std::make_unique<storage::Disk>(
-          sim, "d" + std::to_string(i), dcfg));
+      // Piecewise append: `"d" + std::to_string(i)` (const char* + rvalue
+      // string) trips gcc-12's -Wrestrict false positive at -O3.
+      std::string dname = "d";
+      dname += std::to_string(i);
+      disks.push_back(std::make_unique<storage::Disk>(sim, dname, dcfg));
     }
     for (std::size_t i = 0; i < n_data; ++i) {
       cfg.data_providers.push_back(
@@ -242,7 +245,7 @@ TEST(MirrorTest, RestartedMirrorCommitsIntoBackingImage) {
   restarted.set_checkpoint_blob(image, snap);
   blob::VersionId v2 = 0;
   Buffer view;
-  rig.run([](TestRig* r, MirrorDevice* m, blob::VersionId& v, Buffer& out)
+  rig.run([](TestRig*, MirrorDevice* m, blob::VersionId& v, Buffer& out)
               -> Task<> {
     const Buffer state = co_await m->read(0, kChunk);  // restored content
     out = state;
@@ -372,7 +375,7 @@ TEST(ProxyTest, PausesVmDuringSnapshot) {
     }
   });
   CheckpointProxy::Result result;
-  rig.run([](TestRig* r, CheckpointProxy* p, vm::VmInstance* v,
+  rig.run([](TestRig*, CheckpointProxy* p, vm::VmInstance* v,
              MirrorDevice* m, CheckpointProxy::Result& out) -> Task<> {
     co_await m->write(0, Buffer::pattern(4 * kChunk, 9));
     out = co_await p->request_checkpoint(*v, *m);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/strutil.h"
 #include "blob/client.h"
 #include "blob/gc.h"
 #include "blob/store.h"
@@ -64,7 +65,7 @@ struct FlushRig {
     dcfg.position_cost = 100 * sim::kMicrosecond;
     for (std::size_t i = 0; i < n_data + 1; ++i) {
       disks.push_back(
-          std::make_unique<storage::Disk>(sim, "d" + std::to_string(i), dcfg));
+          std::make_unique<storage::Disk>(sim, common::strf("d%zu", i), dcfg));
     }
     for (std::size_t i = 0; i < n_data; ++i) {
       cfg.data_providers.push_back(

@@ -60,7 +60,9 @@ TEST_P(ScenarioMatrixTest, MultiRoundRunWithRestartVerifies) {
   EXPECT_GT(result.restart_time, 0);
   // Full-VM restores are not digest-verified (no per-process files); all
   // other modes must round-trip bit for bit.
-  if (combo.mode != CkptMode::FullVm) EXPECT_TRUE(result.verified);
+  if (combo.mode != CkptMode::FullVm) {
+    EXPECT_TRUE(result.verified);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/strutil.h"
 #include "img/mem_device.h"
 #include "mpi/blcr.h"
 #include "mpi/coordinated.h"
@@ -40,7 +41,7 @@ struct TestRig {
     for (std::size_t i = 0; i < n_vms; ++i) {
       devs.push_back(std::make_unique<img::MemDevice>(64 * 1024 * 1024));
       vm::VmConfig cfg;
-      cfg.name = "vm" + std::to_string(i);
+      cfg.name = common::strf("vm%zu", i);
       cfg.os_ram_bytes = 10 * common::kMB;
       vms.push_back(std::make_unique<vm::VmInstance>(
           sim, static_cast<net::NodeId>(i), *devs.back(), cfg));
@@ -297,7 +298,7 @@ template <typename Body>
 void run_ranks(std::size_t n, Body body) {
   TestRig rig(n);
   for (std::size_t i = 0; i < n; ++i) {
-    rig.vms[i]->start_guest("r" + std::to_string(i),
+    rig.vms[i]->start_guest(common::strf("r%zu", i),
                             [&rig, i, body](vm::GuestProcess& gp) -> Task<> {
       rig.world->register_rank(static_cast<int>(i), &gp);
       auto comm = rig.world->comm(static_cast<int>(i));

@@ -1,0 +1,359 @@
+// Multi-tenant repository tests: K concurrent jobs (distinct tenants,
+// sessions and catalogs) checkpoint/restart bit-exactly through ONE shared
+// BlobStore; the repository-scoped digest index dedups cross-job content;
+// one tenant's retention/GC never reclaims chunks another tenant's versions
+// reference (including with a drain killed at a commit stage boundary); each
+// tenant's catalog lists only its own lineage; and the weighted-fair gate
+// admits a small tenant past a bulk tenant's backlog.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/multi_job.h"
+#include "blob/client.h"
+#include "core/blobcr.h"
+#include "cr/session.h"
+#include "flush/flush_agent.h"
+#include "net/qos.h"
+#include "sim/sim.h"
+
+namespace blobcr {
+namespace {
+
+using common::Buffer;
+using core::Backend;
+using core::Cloud;
+using core::CloudConfig;
+using core::Deployment;
+using sim::Task;
+
+CloudConfig repo_cfg(std::size_t compute_nodes = 24) {
+  CloudConfig cfg;
+  cfg.compute_nodes = compute_nodes;
+  cfg.metadata_nodes = 2;
+  cfg.backend = Backend::BlobCR;
+  cfg.reduction.enabled = true;  // shared_index defaults to repository scope
+  cfg.os = vm::GuestOsConfig::test_tiny();
+  cfg.vm.os_ram_bytes = 20 * common::kMB;
+  return cfg;
+}
+
+apps::MultiJobRun three_jobs() {
+  apps::MultiJobRun run;
+  run.shared_fraction = 0.5;
+  apps::TenantJobSpec a;
+  a.name = "jobA";
+  a.weight = 2.0;
+  a.instances = 2;
+  a.buffer_bytes = 1 * common::kMB;
+  a.rounds = 2;
+  apps::TenantJobSpec b = a;
+  b.name = "jobB";
+  b.weight = 1.0;
+  b.instances = 1;
+  b.stagger = 2 * sim::kSecond;
+  apps::TenantJobSpec c = b;
+  c.name = "jobC";
+  c.stagger = 4 * sim::kSecond;
+  c.async_flush = true;  // one tenant on the async pipeline
+  run.jobs = {a, b, c};
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// K=3 concurrent jobs through one repository: bit-exact restores, per-tenant
+// accounting, and per-tenant catalogs that list only their own lineage.
+// ---------------------------------------------------------------------------
+
+TEST(MultiTenantTest, ConcurrentJobsRestoreBitExactThroughOneRepository) {
+  CloudConfig cfg = repo_cfg();
+  cfg.qos.enabled = true;
+  cfg.qos.commit_slots = 2;
+  Cloud cloud(cfg);
+  const apps::MultiJobRun run = three_jobs();
+  const apps::MultiJobResult result = apps::run_multi_job(cloud, run);
+
+  ASSERT_EQ(result.jobs.size(), 3u);
+  EXPECT_TRUE(result.all_verified()) << "a tenant's restore was not bit-exact";
+  for (std::size_t k = 0; k < result.jobs.size(); ++k) {
+    const apps::JobResult& job = result.jobs[k];
+    EXPECT_NE(job.tenant, net::kDefaultTenant);
+    // Own lineage only: exactly this job's rounds, every record Complete,
+    // ids dense from 1 (each catalog is its own named blob).
+    ASSERT_EQ(job.records.size(),
+              static_cast<std::size_t>(run.jobs[k].rounds))
+        << job.name << " sees foreign catalog records";
+    for (std::size_t r = 0; r < job.records.size(); ++r) {
+      EXPECT_EQ(job.records[r].id, r + 1);
+      EXPECT_EQ(job.records[r].state, cr::RecordState::Complete);
+      EXPECT_EQ(job.records[r].snapshots.size(), run.jobs[k].instances);
+    }
+    EXPECT_GT(job.raw_bytes, 0u) << job.name;
+    EXPECT_GT(job.shipped_bytes, 0u) << job.name;
+    EXPECT_LE(job.shipped_bytes, job.raw_bytes) << job.name;
+  }
+  // Distinct tenants, distinct identities.
+  EXPECT_NE(result.jobs[0].tenant, result.jobs[1].tenant);
+  EXPECT_NE(result.jobs[1].tenant, result.jobs[2].tenant);
+
+  // The staggered jobs (B, C) replay the first job's image layout with the
+  // shared dataset already in the repository: cross-job dedup collapses a
+  // large share of what they would otherwise ship. (The FIRST job has no
+  // one to dedup against — that asymmetry is the multi-tenant win.)
+  for (std::size_t k : {1u, 2u}) {
+    const apps::JobResult& job = result.jobs[k];
+    EXPECT_LT(static_cast<double>(job.shipped_bytes),
+              0.75 * static_cast<double>(job.raw_bytes))
+        << "cross-job dedup did not bite for staggered job " << job.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance comparison: the repository-scoped digest index stores the
+// cross-job shared dataset once repository-wide; isolated per-deployment
+// indices store it once per job. Shipped bytes must be strictly lower with
+// the shared index on an overlapping workload.
+// ---------------------------------------------------------------------------
+
+TEST(MultiTenantTest, SharedIndexShipsLessThanIsolatedOnOverlappingJobs) {
+  apps::MultiJobRun run;
+  run.shared_fraction = 0.8;
+  for (const char* name : {"j1", "j2"}) {
+    apps::TenantJobSpec spec;
+    spec.name = name;
+    spec.instances = 1;
+    spec.buffer_bytes = 1 * common::kMB;
+    spec.rounds = 1;
+    spec.do_restart = false;
+    spec.stagger = (run.jobs.empty() ? 0 : 3) * sim::kSecond;
+    run.jobs.push_back(spec);
+  }
+
+  auto total_shipped = [&](bool shared_index) {
+    CloudConfig cfg = repo_cfg(8);
+    cfg.reduction.shared_index = shared_index;
+    Cloud cloud(cfg);
+    const apps::MultiJobResult r = apps::run_multi_job(cloud, run);
+    std::uint64_t shipped = 0;
+    for (const apps::JobResult& j : r.jobs) shipped += j.shipped_bytes;
+    return shipped;
+  };
+
+  const std::uint64_t isolated = total_shipped(false);
+  const std::uint64_t shared = total_shipped(true);
+  EXPECT_LT(shared, isolated)
+      << "repository-scoped index did not dedup across jobs";
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tenant GC isolation: tenant A's retention sweep reclaims A's own
+// retired versions but never a chunk tenant B's published version references
+// through cross-job dedup — including when a third tenant's drain died at a
+// commit stage boundary just before the sweep.
+// ---------------------------------------------------------------------------
+
+TEST(MultiTenantTest, RetentionSweepNeverReclaimsAnotherTenantsChunks) {
+  Cloud cloud(repo_cfg(24));
+  bool b_restored = false, c_restored = false, c_ckpt_threw = false;
+  std::uint64_t a_reclaimed = 0;
+  std::uint64_t b_shipped = 0, b_raw = 0;
+
+  cloud.run([](Cloud* cl, bool* b_restored, bool* c_restored,
+               bool* c_ckpt_threw, std::uint64_t* a_reclaimed,
+               std::uint64_t* b_shipped, std::uint64_t* b_raw) -> Task<> {
+    sim::Event never(cl->simulation());
+    co_await cl->provision_base_image();
+    const Buffer dataset = Buffer::pattern(1 * common::kMB, 0xda7a);
+
+    // Tenant A at nodes [0,1), B at [1,2), C (async pipeline) at [2,3).
+    Deployment::Options ao{0, cl->register_tenant("A"), std::nullopt};
+    Deployment::Options bo{1, cl->register_tenant("B"), std::nullopt};
+    flush::FlushConfig async_cfg;
+    async_cfg.enabled = true;
+    Deployment::Options co_opts{2, cl->register_tenant("C"), async_cfg};
+    Deployment dep_a(*cl, 1, ao);
+    Deployment dep_b(*cl, 1, bo);
+    Deployment dep_c(*cl, 1, co_opts);
+    cr::Session::Config sa, sb, sc;
+    sa.job = "A";
+    sa.retention.keep_last = 1;
+    sa.auto_retention = false;  // swept explicitly below
+    sb.job = "B";
+    sc.job = "C";
+    cr::Session ses_a(dep_a, sa);
+    cr::Session ses_b(dep_b, sb);
+    cr::Session ses_c(dep_c, sc);
+    co_await dep_a.deploy_and_boot();
+    co_await dep_b.deploy_and_boot();
+    co_await dep_c.deploy_and_boot();
+
+    // A publishes the dataset first; B commits the same content and dedups
+    // against A's chunks — B's only physical copy of the shared content is
+    // the one A stored.
+    co_await dep_a.vm(0).fs()->write_file("/data/d.bin", dataset);
+    co_await dep_a.vm(0).fs()->sync();
+    (void)co_await ses_a.checkpoint("a1");
+    co_await dep_b.vm(0).fs()->write_file("/data/d.bin", dataset);
+    co_await dep_b.vm(0).fs()->sync();
+    (void)co_await ses_b.checkpoint("b1");
+    {
+      const blob::BlobStore::TenantUsage& u =
+          cl->blob_store()->tenant_usage(dep_b.tenant());
+      *b_shipped = u.shipped_bytes;
+      *b_raw = u.raw_bytes;
+    }
+
+    // C completes one checkpoint, then its drain dies at the Putting stage
+    // boundary of the next one: pins and index entries of the dead drain
+    // unwind right before A's sweep runs.
+    co_await dep_c.vm(0).fs()->write_file("/data/d.bin", dataset);
+    co_await dep_c.vm(0).fs()->sync();
+    (void)co_await ses_c.checkpoint("c1");
+    core::MirrorDevice* cm = dep_c.instance(0).mirror.get();
+    EXPECT_NE(cm->flush_agent(), nullptr);
+    if (cm->flush_agent() == nullptr) co_return;
+    bool armed = true;
+    cm->flush_agent()->set_stage_probe(
+        [cl, cm, &armed, &never](blob::CommitStage s) -> Task<> {
+          if (armed && s == blob::CommitStage::Putting) {
+            armed = false;
+            cl->simulation().call_in(0,
+                                     [cm] { cm->flush_agent()->fail_stop(); });
+            co_await never.wait();
+          }
+        });
+    co_await dep_c.vm(0).fs()->write_file(
+        "/data/extra.bin", Buffer::pattern(300'000, 0xc0de));
+    co_await dep_c.vm(0).fs()->sync();
+    try {
+      (void)co_await ses_c.checkpoint("doomed");
+    } catch (const blob::BlobError&) {
+      *c_ckpt_threw = true;
+    }
+
+    // A churns two more checkpoints and sweeps: everything but A's newest
+    // record retires, and its exclusive chunks are reclaimed.
+    for (const std::uint64_t seed : {0xa2ULL, 0xa3ULL}) {
+      co_await dep_a.vm(0).fs()->write_file(
+          "/data/churn.bin", Buffer::pattern(1 * common::kMB, seed));
+      co_await dep_a.vm(0).fs()->sync();
+      (void)co_await ses_a.checkpoint();
+    }
+    *a_reclaimed = co_await ses_a.apply_retention();
+
+    // B and C restart cold on fresh nodes from their own catalogs: the
+    // shared dataset both published must still be there, bit for bit.
+    dep_b.destroy_all();
+    (void)co_await ses_b.restart(cr::Selector::latest(), /*node_offset=*/10,
+                                 /*cold_caches=*/true);
+    const Buffer b_back = co_await dep_b.vm(0).fs()->read_file("/data/d.bin");
+    *b_restored = b_back == dataset;
+
+    dep_c.destroy_all();
+    (void)co_await ses_c.restart(cr::Selector::latest(), /*node_offset=*/12,
+                                 /*cold_caches=*/true);
+    const Buffer c_back = co_await dep_c.vm(0).fs()->read_file("/data/d.bin");
+    *c_restored = c_back == dataset;
+  }(&cloud, &b_restored, &c_restored, &c_ckpt_threw, &a_reclaimed, &b_shipped,
+    &b_raw));
+
+  EXPECT_LT(b_shipped, b_raw) << "B never deduped against A's chunks, so the "
+                                 "sweep had nothing cross-tenant to spare";
+  EXPECT_TRUE(c_ckpt_threw) << "drain kill never surfaced";
+  EXPECT_GT(a_reclaimed, 0u) << "A's sweep reclaimed nothing";
+  EXPECT_TRUE(b_restored)
+      << "A's retention sweep reclaimed chunks B's version references";
+  EXPECT_TRUE(c_restored)
+      << "GC after the killed drain damaged C's last complete checkpoint";
+}
+
+// ---------------------------------------------------------------------------
+// Weighted-fair admission: a small tenant's single request overtakes a bulk
+// tenant's backlog at a fair gate; at a FIFO gate it waits out the backlog.
+// ---------------------------------------------------------------------------
+
+Task<> hold_slot(sim::Simulation* sim, net::FairGate* gate, net::TenantId t,
+                 sim::Duration pre_delay, sim::Duration hold_time,
+                 sim::Time* admitted) {
+  if (pre_delay > 0) co_await sim->delay(pre_delay);
+  net::FairGate::Permit permit = co_await gate->enter(t, 1.0);
+  (void)permit;
+  if (admitted != nullptr) *admitted = sim->now();
+  if (hold_time > 0) co_await sim->delay(hold_time);
+}
+
+Task<> kill_after(sim::Simulation* sim, sim::Duration d, sim::ProcessPtr a,
+                  sim::ProcessPtr b) {
+  co_await sim->delay(d);
+  a->kill();
+  b->kill();
+}
+
+TEST(FairGateTest, SmallTenantOvertakesBulkBacklogUnderFairness) {
+  for (const bool fair : {true, false}) {
+    sim::Simulation sim;
+    net::TenantRegistry reg;
+    const net::TenantId bulk = reg.register_tenant("bulk");
+    const net::TenantId small = reg.register_tenant("small");
+    net::FairGate gate(sim, /*slots=*/1, &reg, fair);
+
+    sim::Time small_admitted = 0;
+    for (int i = 0; i < 4; ++i) {
+      sim.spawn("bulk",
+                hold_slot(&sim, &gate, bulk, 0, 1 * sim::kSecond, nullptr));
+    }
+    sim.spawn("small", hold_slot(&sim, &gate, small, 100 * sim::kMillisecond,
+                                 1 * sim::kSecond, &small_admitted));
+    sim.run();
+
+    if (fair) {
+      // Admitted as soon as the first bulk hold releases (1s), ahead of the
+      // remaining backlog: the small tenant's normalized usage is zero.
+      EXPECT_EQ(small_admitted, 1 * sim::kSecond);
+      EXPECT_LT(gate.wait_time(small), gate.wait_time(bulk));
+    } else {
+      // FIFO: behind all four bulk holds.
+      EXPECT_EQ(small_admitted, 4 * sim::kSecond);
+    }
+    EXPECT_EQ(gate.admitted(small), 1u);
+    EXPECT_EQ(gate.admitted(bulk), 4u);
+  }
+}
+
+// A killed waiter unlinks; a killed holder's permit releases; the gate keeps
+// dispatching afterwards (the crash-consistency property the commit path
+// relies on when a drain dies while queued at the gate).
+TEST(FairGateTest, KilledWaiterAndHolderReleaseTheirSlots) {
+  sim::Simulation sim;
+  net::TenantRegistry reg;
+  const net::TenantId t1 = reg.register_tenant("t1");
+  const net::TenantId t2 = reg.register_tenant("t2");
+  net::FairGate gate(sim, /*slots=*/1, &reg, /*fair=*/true);
+
+  sim::Time survivor_admitted = 0;
+  // Holder admits immediately and would hold for 10s; the waiter queues
+  // behind it; the survivor queues last. At t=1s the killer kills the
+  // queued waiter (must unlink) and the holder (its permit must release),
+  // which must hand the slot to the survivor.
+  auto holder =
+      sim.spawn("holder", hold_slot(&sim, &gate, t1, 0, 10 * sim::kSecond,
+                                    nullptr));
+  auto waiter =
+      sim.spawn("waiter", hold_slot(&sim, &gate, t1, 100 * sim::kMillisecond,
+                                    10 * sim::kSecond, nullptr));
+  sim.spawn("survivor",
+            hold_slot(&sim, &gate, t2, 200 * sim::kMillisecond, 0,
+                      &survivor_admitted));
+  sim.spawn("killer", kill_after(&sim, 1 * sim::kSecond, waiter, holder));
+  sim.run();
+
+  EXPECT_EQ(survivor_admitted, 1 * sim::kSecond);
+  EXPECT_EQ(gate.in_use(), 0u);
+  EXPECT_EQ(gate.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace blobcr

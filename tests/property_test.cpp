@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/strutil.h"
 #include "common/rng.h"
 #include "core/blobcr.h"
 #include "ft/failure.h"
@@ -58,7 +59,7 @@ struct MirrorRig {
     dcfg.position_cost = 100 * sim::kMicrosecond;
     for (std::size_t i = 0; i < n_data + 1; ++i) {
       disks.push_back(std::make_unique<storage::Disk>(
-          sim, "d" + std::to_string(i), dcfg));
+          sim, common::strf("d%zu", i), dcfg));
     }
     for (std::size_t i = 0; i < n_data; ++i) {
       cfg.data_providers.push_back(
@@ -102,7 +103,7 @@ TEST_P(MirrorSnapshotPropertyTest, EveryCommittedVersionStaysIntact) {
     blob::BlobId ckpt_blob = 0;
   } st;
 
-  rig.run([](MirrorRig* rig, core::MirrorDevice* m, State* st,
+  rig.run([](MirrorRig*, core::MirrorDevice* m, State* st,
              int seed) -> Task<> {
     // Reference starts as the base pattern.
     const Buffer base = Buffer::pattern(kImage, 42);
@@ -195,7 +196,7 @@ TEST_P(AsyncCommitPropertyTest, PublishedVersionNeverContainsLaterWrites) {
     blob::BlobId ckpt_blob = 0;
   } st;
 
-  rig.run([](MirrorRig* rig, core::MirrorDevice* m, State* st,
+  rig.run([](MirrorRig*, core::MirrorDevice* m, State* st,
              int seed) -> Task<> {
     const Buffer base = Buffer::pattern(kImage, 42);
     st->ref.assign(base.bytes().begin(), base.bytes().end());

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/strutil.h"
 #include "apps/scenarios.h"
 #include "blob/client.h"
 #include "core/chunk_cache.h"
@@ -60,7 +61,7 @@ struct ReducedRig {
     dcfg.position_cost = sim::kMillisecond;
     for (std::size_t i = 0; i < n_data + 3; ++i) {
       disks.push_back(std::make_unique<storage::Disk>(
-          sim, "d" + std::to_string(i), dcfg));
+          sim, common::strf("d%zu", i), dcfg));
     }
     for (std::size_t i = 0; i < n_data; ++i) {
       cfg.data_providers.push_back(
@@ -195,7 +196,7 @@ TEST(RestartDataPlaneTest, NodeCacheDecodesOncePerNode) {
 
   Buffer via_m1;
   Buffer via_m2;
-  rig.run([](ReducedRig* r, MirrorDevice* a, MirrorDevice* b, Buffer& o1,
+  rig.run([](ReducedRig*, MirrorDevice* a, MirrorDevice* b, Buffer& o1,
              Buffer& o2) -> Task<> {
     o1 = co_await a->read(0, kImage);
     o2 = co_await b->read(0, kImage);
