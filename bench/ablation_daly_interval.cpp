@@ -10,6 +10,9 @@
 // and flatten the penalty for checkpointing often.
 #include "bench_common.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "ft/failure.h"
 #include "ft/interval.h"
 #include "ft/runner.h"
@@ -22,6 +25,48 @@ struct IntervalPoint {
   double analytic_makespan_s = 0;
   double daly_tau_s = 0;
 };
+
+/// Two-level (peer / repository) cadence sweep: one measured BlobCR run
+/// grounds the cost model — the app-blocked share of a checkpoint is the
+/// cheap peer-tier level (C1: staging + parity encode, survivable for
+/// single-node failures via the redundancy tier), the rest of the overhead
+/// is the repository-durability level (C2: drain + publish). M1 is the
+/// system MTBF; repository-scale losses (M2) are modeled an order of
+/// magnitude rarer. We report the analytic overhead across level ratios k
+/// next to the jointly optimal (tau*, k*) and the single-level optimum.
+struct TwoLevelPoint {
+  double c1_s = 0, c2_s = 0;
+  double overhead = 0;        // at this k, tau optimal for this k
+  double tau_s = 0;           // cheap-level interval used at this k
+  double k_opt = 1;           // jointly optimal level ratio
+  double tau_opt_s = 0;       // jointly optimal cheap-level interval
+  double tau_repo_opt_s = 0;  // k*·tau*: the durable-level interval
+  double single_overhead = 0; // best single-level (k = 1) overhead
+};
+
+TwoLevelPoint two_level_point(const ft::FtReport& report, double k,
+                              double node_mtbf_s, std::size_t instances) {
+  TwoLevelPoint p;
+  const double n = std::max<double>(1.0, report.checkpoints);
+  const double total_s = sim::to_seconds(report.checkpoint_overhead) / n;
+  p.c1_s = std::max(1e-3, sim::to_seconds(report.ckpt_blocked) / n);
+  p.c2_s = std::max(1e-3, total_s - p.c1_s);
+  const double m1 = ft::system_mtbf(node_mtbf_s, instances);
+  const double m2 = 10.0 * m1;
+  // Optimal tau for the *given* k (stationarity in tau alone).
+  p.tau_s = std::sqrt((p.c1_s + p.c2_s / k) /
+                      (1.0 / (2.0 * m1) + k / (2.0 * m2)));
+  p.overhead = ft::two_level_overhead(p.tau_s, k, p.c1_s, p.c2_s, m1, m2);
+  const ft::TwoLevelPlan plan = ft::two_level_optimum(p.c1_s, p.c2_s, m1, m2);
+  p.k_opt = plan.k;
+  p.tau_opt_s = plan.tau;
+  p.tau_repo_opt_s = plan.k * plan.tau;
+  p.single_overhead =
+      ft::two_level_overhead(std::sqrt((p.c1_s + p.c2_s) /
+                                       (1.0 / (2.0 * m1) + 1.0 / (2.0 * m2))),
+                             1.0, p.c1_s, p.c2_s, m1, m2);
+  return p;
+}
 
 /// Job shape: a few minutes of work across a handful of VMs so that the
 /// sweep completes quickly while still spanning several failures.
@@ -40,13 +85,17 @@ ft::FtJobConfig job_for(double tau_s, std::uint64_t state_bytes,
   return job;
 }
 
-IntervalPoint run_point(Backend backend, double tau_s, double node_mtbf_s) {
+IntervalPoint run_point(Backend backend, double tau_s, double node_mtbf_s,
+                        bool redundancy = false) {
   const std::uint64_t state_bytes = 50 * common::kMB;
   // A failed node takes its co-located data provider down with it, so the
   // checkpoint repository must be replicated to survive (§3.1.1) — each
   // sweep point gets a fresh replicated cloud.
   core::CloudConfig cfg = paper_cloud(backend);
   cfg.replication = 2;
+  // The redundancy tier encodes on the async drain, so it implies flush.
+  cfg.flush.enabled = cfg.flush.enabled || redundancy;
+  cfg.redundancy.enabled = redundancy;
   core::Cloud cloud(cfg);
   IntervalPoint point;
   const ft::FtJobConfig job = job_for(tau_s, state_bytes, node_mtbf_s, 4242);
@@ -82,6 +131,41 @@ void register_all() {
       {"BlobCR-app", Backend::BlobCR, CkptMode::AppLevel},
       {"qcow2-disk-app", Backend::Qcow2Disk, CkptMode::AppLevel},
   };
+  // Two-level cadence sweep: BlobCR with the peer redundancy tier on.
+  // Every checkpoint pays the cheap peer level; only each k-th pays the
+  // repository drain. Measured costs ground the analytic model; counters
+  // report the overhead at each k next to the joint optimum (tau*, k*).
+  const std::vector<double> ks =
+      fast_mode() ? std::vector<double>{1, 4} : std::vector<double>{1, 2, 4, 8};
+  for (const double k : ks) {
+    const std::string name =
+        std::string("AblationDalyInterval/BlobCR-two-level/k:") +
+        std::to_string(static_cast<int>(k));
+    const double tau = fast_mode() ? 60.0 : 120.0;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [k, tau, node_mtbf_s](benchmark::State& state) {
+          const IntervalPoint p =
+              run_point(Backend::BlobCR, tau, node_mtbf_s, true);
+          const std::size_t instances = fast_mode() ? 2 : 4;
+          const TwoLevelPoint tl =
+              two_level_point(p.report, k, node_mtbf_s, instances);
+          report_seconds(state, p.report.makespan);
+          state.counters["c1_s"] = tl.c1_s;
+          state.counters["c2_s"] = tl.c2_s;
+          state.counters["tau_s"] = tl.tau_s;
+          state.counters["overhead"] = tl.overhead;
+          state.counters["k_opt"] = tl.k_opt;
+          state.counters["tau_opt_s"] = tl.tau_opt_s;
+          state.counters["tau_repo_opt_s"] = tl.tau_repo_opt_s;
+          state.counters["single_overhead"] = tl.single_overhead;
+          state.counters["daly_tau_s"] = p.daly_tau_s;
+          state.counters["parity_rebuilt_mb"] = mb(p.report.parity_bytes_rebuilt);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
   for (const Approach& ap : approaches) {
     for (const double tau : taus) {
       const std::string name = std::string("AblationDalyInterval/") +

@@ -40,6 +40,11 @@ GATED_COUNTERS = {
     # Multi-tenant repository.
     "repo_mb_per_job": ("repository bytes shipped [MB/job]", 0.5),
     "blocked_p95_s": ("p95 commit blocked time [s]", 0.02),
+    # Redundancy tier: repository scavenge duration after a full outage.
+    # (repo_mb_per_inst above also gates the parity restart path, and the
+    # `verified` flip check covers the strictly-fewer-repo-bytes inequality
+    # and the bit-exact post-scavenge restart.)
+    "rebuild_s": ("repository scavenge rebuild [s]", 0.05),
 }
 # Default file set: the restart- and commit-path benches the gate protects.
 DEFAULT_FILES = [
@@ -49,6 +54,7 @@ DEFAULT_FILES = [
     "BENCH_fig5_successive_checkpoints.json",
     "BENCH_ablation_async_flush.json",
     "BENCH_ablation_multitenant.json",
+    "BENCH_ablation_redundancy.json",
 ]
 
 

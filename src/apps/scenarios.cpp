@@ -211,6 +211,7 @@ Task<> synthetic_driver(Cloud* cloud, SyntheticRun run, CkptMode mode,
     // exactly the restart's lazy-fetch traffic.
     result->restart_repo_bytes = dep.boot_repo_bytes();
     result->restart_peer_bytes = dep.boot_peer_bytes();
+    result->restart_parity_bytes = dep.boot_parity_bytes();
     if (run.real_data) {
       for (const bool ok : shared->restore_ok) {
         result->verified = result->verified && ok;
@@ -394,6 +395,7 @@ Task<> cm1_driver(Cloud* cloud, Cm1Run run, CkptMode mode,
     result->restart_time = sim.now() - t0;
     result->restart_repo_bytes = dep.boot_repo_bytes();
     result->restart_peer_bytes = dep.boot_peer_bytes();
+    result->restart_parity_bytes = dep.boot_parity_bytes();
     if (run.app.real_data) {
       for (const bool ok : shared->restore_ok) {
         result->verified = result->verified && ok;

@@ -69,10 +69,12 @@ struct RunResult {
   /// Restart completion time: redeploy + reboot + state restore (Fig 3).
   sim::Duration restart_time = 0;
   /// Restart transfer split (BlobCR): wire bytes pulled from the
-  /// repository vs decoded bytes copied between deployment peers — the
-  /// content-addressed data plane's two transfer classes.
+  /// repository vs decoded bytes copied between deployment peers vs bytes
+  /// reconstructed from peer parity groups (the redundancy tier) — the
+  /// content-addressed data plane's transfer classes.
   std::uint64_t restart_repo_bytes = 0;
   std::uint64_t restart_peer_bytes = 0;
+  std::uint64_t restart_parity_bytes = 0;
   /// Digest verification outcome (real-data runs; true in phantom mode).
   bool verified = true;
   /// Per-tenant repository accounting for this job (BlobCR backend),

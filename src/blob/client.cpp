@@ -68,6 +68,8 @@ const char* commit_stage_name(CommitStage s) {
       return "pre-publish";
     case CommitStage::PostPublish:
       return "post-publish";
+    case CommitStage::ParityEncode:
+      return "parity-encode";
   }
   return "?";
 }

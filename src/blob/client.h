@@ -26,8 +26,19 @@ namespace blobcr::blob {
 
 /// Commit pipeline stage boundaries, in order. Staged is fired by the
 /// asynchronous flush agent once a commit's payload is frozen locally; the
-/// client fires the rest as the commit moves reduce -> store -> publish.
-enum class CommitStage { Staged, Reducing, Putting, PrePublish, PostPublish };
+/// client fires the middle three as the commit moves reduce -> store ->
+/// publish; ParityEncode is fired by the flush agent again after publish,
+/// just before the drained chunks fold into the peer parity tier
+/// (redundancy::Manager) — a kill there leaves a published-but-unprotected
+/// version, never a torn one.
+enum class CommitStage {
+  Staged,
+  Reducing,
+  Putting,
+  PrePublish,
+  PostPublish,
+  ParityEncode,
+};
 
 const char* commit_stage_name(CommitStage s);
 
@@ -155,6 +166,12 @@ class BlobClient {
   /// no reducer ran; shipped excludes replication).
   std::uint64_t last_commit_raw_bytes() const { return last_commit_raw_; }
   std::uint64_t last_commit_stored_bytes() const { return last_commit_stored_; }
+  /// Chunk size of `blob` when this client has already resolved it (the
+  /// create/commit/read paths all cache it); 0 for an unseen blob.
+  std::uint64_t known_chunk_size(BlobId blob) const {
+    const auto it = chunk_size_cache_.find(blob);
+    return it == chunk_size_cache_.end() ? 0 : it->second;
+  }
 
  private:
   struct VersionKey {

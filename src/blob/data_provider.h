@@ -30,6 +30,15 @@ class DataProvider {
     lost_bytes_ = store_.stored_bytes();
   }
 
+  /// Brings a failed provider back into service with an *empty* store (its
+  /// disk content died with the node). The scavenge path repopulates it
+  /// from surviving peer-tier copies; a no-op on a live provider.
+  void rejoin() {
+    if (alive_) return;
+    store_.clear();
+    alive_ = true;
+  }
+
   /// Receives a chunk from `from` and persists it.
   sim::Task<> store(net::NodeId from, ChunkId id, common::Buffer data) {
     if (!alive_) throw BlobError("provider down");

@@ -24,6 +24,9 @@ namespace blobcr::blob {
 struct ChunkPlacement {
   std::uint32_t size = 0;
   std::vector<net::NodeId> replicas;
+  /// Tenant whose commit allocated the chunk — repair traffic is charged
+  /// back to the owner (BlobStore::tenant_usage), not smeared repository-wide.
+  net::TenantId tenant = net::kDefaultTenant;
 };
 
 class ProviderManager {
@@ -59,7 +62,7 @@ class ProviderManager {
       loc.id = next_chunk_id++;
       loc.size = size;
       loc.replicas = pick_replicas(loc.id, size, replication);
-      placements_[loc.id] = ChunkPlacement{size, loc.replicas};
+      placements_[loc.id] = ChunkPlacement{size, loc.replicas, tenant};
       out.push_back(std::move(loc));
     }
     co_await fabric_->message(node_, client);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <algorithm>
+#include <map>
 #include <vector>
 
 #include "blob/store.h"
@@ -35,6 +36,13 @@ class RepairService {
     std::size_t lost = 0;
     std::uint64_t bytes_copied = 0;
     sim::Duration duration = 0;
+    /// Repair traffic attributed to the tenant whose commit allocated each
+    /// chunk (mirrored into BlobStore::tenant_usage by the pass).
+    struct TenantRepair {
+      std::size_t copies = 0;
+      std::uint64_t bytes = 0;
+    };
+    std::map<net::TenantId, TenantRepair> by_tenant;
   };
 
   explicit RepairService(BlobStore& store) : store_(&store) {}
@@ -70,7 +78,8 @@ class RepairService {
       if (homes.empty()) continue;
 
       for (const net::NodeId dst : homes) {
-        copies.push_back(copy_chunk(id, live.front(), dst, &report));
+        copies.push_back(
+            copy_chunk(id, live.front(), dst, placement.tenant, &report));
         live.push_back(dst);
       }
       pm.update_placement(id, std::move(live));
@@ -136,12 +145,17 @@ class RepairService {
   }
 
   sim::Task<> copy_chunk(ChunkId id, net::NodeId src, net::NodeId dst,
-                         Report* report) {
+                         net::TenantId tenant, Report* report) {
     DataProvider* source = store_->provider_at(src);
     DataProvider* dest = store_->provider_at(dst);
     // Local read at the source (loopback), then one fabric hop src -> dst.
     common::Buffer data = co_await source->fetch(src, id);
-    report->bytes_copied += data.size();
+    const std::uint64_t bytes = data.size();
+    report->bytes_copied += bytes;
+    Report::TenantRepair& tr = report->by_tenant[tenant];
+    ++tr.copies;
+    tr.bytes += bytes;
+    store_->account_repair(tenant, 1, bytes);
     co_await dest->store(src, id, std::move(data));
   }
 

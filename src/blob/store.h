@@ -133,6 +133,10 @@ class BlobStore {
     std::uint64_t raw_bytes = 0;      // pre-reduction commit payload
     std::uint64_t shipped_bytes = 0;  // post-reduction payload stored
     sim::Duration commit_wait = 0;    // admission wait at shared queues
+    /// Re-replication done on this tenant's behalf (RepairService scrubs
+    /// charge each restored copy to the chunk's owning tenant).
+    std::uint64_t repair_copies = 0;
+    std::uint64_t repair_bytes = 0;
   };
   const TenantUsage& tenant_usage(net::TenantId t) const {
     static const TenantUsage kEmpty;
@@ -163,6 +167,12 @@ class BlobStore {
     ++u.commits;
     u.raw_bytes += raw_bytes;
     u.shipped_bytes += shipped_bytes;
+  }
+  void account_repair(net::TenantId t, std::uint64_t copies,
+                      std::uint64_t bytes) {
+    TenantUsage& u = usage_[t];
+    u.repair_copies += copies;
+    u.repair_bytes += bytes;
   }
 
   /// Chunk-reclaim observers: the reduction subsystem's digest indexes must

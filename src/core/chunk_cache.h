@@ -91,6 +91,17 @@ class DecodedChunkCache {
     }
   }
 
+  /// Drops one entry (e.g. a parity block whose group was invalidated by
+  /// GC — see redundancy::Manager). Returns false when absent.
+  bool erase(const ChunkKey& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    bytes_ -= it->second->data.size();
+    lru_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
   /// Drops every entry (node reclaimed/reimaged). Counters are kept.
   void clear() {
     lru_.clear();

@@ -6,6 +6,7 @@
 #include "common/strutil.h"
 #include "flush/flush_agent.h"
 #include "img/mem_device.h"
+#include "redundancy/manager.h"
 #include "reduce/digest_index.h"
 #include "reduce/reducer.h"
 #include "sim/when_all.h"
@@ -182,6 +183,23 @@ reduce::ChunkDigestIndex* Cloud::shared_digest_index() {
   return shared_index_.get();
 }
 
+redundancy::Manager* Cloud::redundancy() {
+  if (blob_ == nullptr || !cfg_.redundancy.enabled) return nullptr;
+  if (redundancy_ == nullptr) {
+    redundancy_ = std::make_unique<redundancy::Manager>(
+        sim_, *fabric_, cfg_.redundancy,
+        net::Fabric::Shape{cfg_.peer_latency, cfg_.peer_bandwidth_bps});
+    // One repository-lifetime reclaim hook: GC reclaim of a member chunk
+    // invalidates its whole parity group (no orphaned parity blocks), even
+    // while no deployment is alive — e.g. a retention sweep between jobs.
+    blob_->add_chunk_reclaim_hook(
+        [mgr = redundancy_.get()](const std::vector<blob::ChunkId>& ids) {
+          mgr->forget_chunks(ids);
+        });
+  }
+  return redundancy_.get();
+}
+
 void Cloud::fail_node(net::NodeId node) {
   if (blob_) blob_->fail_node(node);
 }
@@ -242,6 +260,7 @@ void Deployment::build_instance_fresh(std::size_t i, net::NodeId node) {
     mcfg.capacity = cloud.image_size();
     mcfg.flush = flush_cfg_;
     mcfg.tenant = tenant_;
+    mcfg.redundancy = cloud.redundancy();
     inst->mirror = std::make_unique<MirrorDevice>(
         *cloud.blob_store(), node, cloud.disk(node),
         cloud.next_disk_stream(node), cloud.base_blob(), 1, mcfg,
@@ -397,6 +416,9 @@ void Deployment::destroy_all() {
 void Deployment::forget_node_caches() {
   bus_->drop_all_holders();
   cloud_->reset_chunk_caches();
+  // Every cache was emptied, so every parity group's payloads and blocks
+  // are gone with them.
+  if (redundancy::Manager* mgr = cloud_->redundancy()) mgr->drop_all();
 }
 
 void Deployment::fail_instance(std::size_t i) {
@@ -416,6 +438,9 @@ void Deployment::fail_instance(std::size_t i) {
   if (DecodedChunkCache* cache = cloud_->chunk_cache(inst.node)) {
     cache->clear();
   }
+  // Open parity groups touching the node die with it; sealed groups stay —
+  // rebuilding this node's members is exactly what the tier is for.
+  if (redundancy::Manager* mgr = cloud_->redundancy()) mgr->drop_node(inst.node);
   cloud_->fail_node(inst.node);
 }
 
@@ -444,6 +469,7 @@ sim::Task<> Deployment::build_instance_from_snapshot(std::size_t i,
     mcfg.capacity = cloud.image_size();
     mcfg.flush = flush_cfg_;
     mcfg.tenant = tenant_;
+    mcfg.redundancy = cloud.redundancy();
     inst->mirror = std::make_unique<MirrorDevice>(
         *cloud.blob_store(), node, cloud.disk(node),
         cloud.next_disk_stream(node), snap.image, snap.version, mcfg,
@@ -567,6 +593,52 @@ std::uint64_t Deployment::boot_peer_bytes() const {
     if (inst && inst->mirror) total += inst->mirror->peer_bytes_fetched();
   }
   return total;
+}
+
+std::uint64_t Deployment::boot_parity_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& inst : instances_) {
+    if (inst && inst->mirror) total += inst->mirror->parity_bytes_rebuilt();
+  }
+  return total;
+}
+
+sim::Task<std::optional<Deployment::PeerPayload>>
+Deployment::recover_chunk_payload(const ChunkKey& key, net::NodeId dst) {
+  // A surviving node's cached copy first: a real intra-deployment transfer
+  // through the bus's fan-out accounting, like any restart peer copy.
+  if (auto peer = bus_->find_holder(key, dst)) {
+    struct CopyGuard {
+      PrefetchBus* bus;
+      ChunkKey key;
+      net::NodeId node;
+      ~CopyGuard() { bus->finish_peer_copy(key, node); }
+    } guard{bus_.get(), key, peer->node};
+    co_await cloud_->fabric().transfer(peer->node, dst, peer->data.size(),
+                                       bus_->peer_shape());
+    co_return PeerPayload{std::move(peer->data), peer->node};
+  }
+  // Parity-group rebuild second.
+  if (redundancy::Manager* mgr = cloud_->redundancy()) {
+    if (auto rebuilt = co_await mgr->rebuild(key, dst)) {
+      co_return PeerPayload{std::move(*rebuilt), dst};
+    }
+  }
+  // Last resort: scan the attached caches directly — content can be
+  // resident on a node that never published to the bus (e.g. seeded by the
+  // parity encode path on a deployment without adaptive prefetch).
+  for (const auto& inst : instances_) {
+    if (!inst || inst->failed || !inst->mirror) continue;
+    DecodedChunkCache* cache = cloud_->chunk_cache(inst->node);
+    if (cache == nullptr) continue;
+    if (const common::Buffer* hit = cache->get(key)) {
+      common::Buffer data = *hit;
+      co_await cloud_->fabric().transfer(inst->node, dst, data.size(),
+                                         bus_->peer_shape());
+      co_return PeerPayload{std::move(data), inst->node};
+    }
+  }
+  co_return std::nullopt;
 }
 
 }  // namespace blobcr::core

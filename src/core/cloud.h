@@ -29,6 +29,7 @@
 #include "net/fabric.h"
 #include "pfs/pvfs.h"
 #include "pfs/pvfs_store.h"
+#include "redundancy/parity.h"
 #include "reduce/reduction.h"
 #include "sim/sim.h"
 #include "storage/disk.h"
@@ -38,6 +39,9 @@
 namespace blobcr::reduce {
 class ChunkDigestIndex;
 class Reducer;
+}
+namespace blobcr::redundancy {
+class Manager;
 }
 
 namespace blobcr::core {
@@ -72,6 +76,10 @@ struct CloudConfig {
   /// Asynchronous commit pipeline (BlobCR backend only). Off by default;
   /// see src/flush/flush.h for the knobs and failure semantics.
   flush::FlushConfig flush;
+  /// Peer parity redundancy tier (BlobCR backend, requires flush.enabled:
+  /// the encode rides the async drain). Off by default; see
+  /// src/redundancy/parity.h for the knobs.
+  redundancy::RedundancyConfig redundancy;
   bool adaptive_prefetch = true;
   sim::Duration hint_latency = 300 * sim::kMicrosecond;
   /// Content-addressed restart data plane: intra-deployment peer copies of
@@ -204,6 +212,14 @@ class Cloud {
   /// lifetimes). nullptr on non-BlobCR backends.
   reduce::ChunkDigestIndex* shared_digest_index();
 
+  /// The cloud-scoped peer parity redundancy tier (lazily created; one GC
+  /// reclaim hook keeps parity groups honest across deployment lifetimes).
+  /// Like the repository, the tier outlives any single deployment: a
+  /// rollback onto fresh nodes still rebuilds the dead node's chunks from
+  /// the previous deployment's surviving caches. nullptr when
+  /// CloudConfig::redundancy is off or the backend is not BlobCR.
+  redundancy::Manager* redundancy();
+
  private:
   CloudConfig cfg_;
   sim::Simulation sim_;
@@ -214,6 +230,8 @@ class Cloud {
   /// Declared after blob_: destroyed first, while the store (whose reclaim
   /// hook references it) never fires hooks during its own destruction.
   std::unique_ptr<reduce::ChunkDigestIndex> shared_index_;
+  /// Same ordering contract as shared_index_.
+  std::unique_ptr<redundancy::Manager> redundancy_;
   std::unique_ptr<pfs::PvfsCluster> pvfs_;
   std::unordered_map<net::NodeId, std::unique_ptr<DecodedChunkCache>>
       chunk_caches_;
@@ -279,6 +297,12 @@ class Deployment {
   vm::VmInstance& vm(std::size_t i) { return *instances_.at(i)->vm; }
   mpi::MpiWorld& mpi() { return *mpi_; }
   PrefetchBus& prefetch_bus() { return *bus_; }
+  /// The cloud-scoped peer parity tier this deployment's mirrors encode
+  /// into (nullptr when CloudConfig::redundancy is off or the backend is
+  /// not BlobCR). Cloud-owned so parity groups survive a rollback onto a
+  /// fresh Deployment — the rebuild level is precisely for restarts whose
+  /// own deployment-scoped state (bus holders, staged images) is gone.
+  redundancy::Manager* redundancy() { return cloud_->redundancy(); }
   /// Deployment-wide reduction pipeline (nullptr when reduction is off or
   /// the backend is not BlobCR). Shared by all mirroring modules, like the
   /// prefetch bus, so dedup works across ranks and snapshot versions.
@@ -340,10 +364,23 @@ class Deployment {
   sim::Task<sim::Duration> migrate_instance(std::size_t i, net::NodeId target);
 
   std::uint64_t boot_remote_bytes() const;  // lazy-fetch traffic observed
-  /// Repository wire bytes vs intra-deployment peer-copy bytes behind
-  /// boot_remote_bytes() (the restart data plane's two transfer classes).
+  /// Repository wire bytes vs intra-deployment peer-copy bytes vs parity-
+  /// rebuilt bytes behind boot_remote_bytes() (the restart data plane's
+  /// transfer classes).
   std::uint64_t boot_repo_bytes() const;
   std::uint64_t boot_peer_bytes() const;
+  std::uint64_t boot_parity_bytes() const;
+
+  /// Scavenge support (cr::Session::scavenge): best-effort recovery of one
+  /// chunk's decoded payload from the peer tier — a surviving node's cache
+  /// copy first, a parity-group rebuild second. Returns the payload and the
+  /// node it came from, or nullopt when the tier cannot produce it.
+  struct PeerPayload {
+    common::Buffer data;
+    net::NodeId node = 0;
+  };
+  sim::Task<std::optional<PeerPayload>> recover_chunk_payload(
+      const ChunkKey& key, net::NodeId dst);
 
  private:
   void kill_restart_scheduler();

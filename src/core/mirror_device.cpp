@@ -5,6 +5,7 @@
 
 #include "blob/spool.h"
 #include "flush/flush_agent.h"
+#include "redundancy/manager.h"
 #include "sim/when_all.h"
 
 namespace blobcr::core {
@@ -39,9 +40,12 @@ MirrorDevice::MirrorDevice(blob::BlobStore& store, net::NodeId host,
   prefetch_slots_ = std::make_unique<sim::Semaphore>(
       store.simulation(), static_cast<std::int64_t>(cfg_.prefetch_streams));
   if (bus_ != nullptr) bus_->attach(this);
+  if (cfg_.redundancy != nullptr)
+    cfg_.redundancy->attach(host_, &this->node_cache());
   if (cfg_.flush.enabled) {
     flush_agent_ = std::make_unique<flush::FlushAgent>(
-        store, client_, local_disk, disk_stream, reducer_, cfg_.flush);
+        store, client_, local_disk, disk_stream, reducer_, cfg_.flush,
+        cfg_.redundancy);
   }
 }
 
@@ -50,6 +54,10 @@ MirrorDevice::~MirrorDevice() {
     if (p && !p->finished()) p->kill();
   }
   if (bus_ != nullptr) bus_->detach(this);
+  // A privately-owned cache dies with the device; the parity tier must not
+  // keep serving rebuilds out of it (shared Cloud caches stay registered).
+  if (cfg_.redundancy != nullptr && own_cache_ != nullptr)
+    cfg_.redundancy->detach_cache(own_cache_.get());
 }
 
 DecodedChunkCache& MirrorDevice::node_cache() {
@@ -151,7 +159,28 @@ sim::Task<> MirrorDevice::materialize_chunk(std::uint64_t clo,
           break;
         }
       }
-      // 3. Repository fetch, single-flight per content key across the
+      // 3. Redundancy tier (SCR-style, cloud-scoped so it survives a
+      //    rollback onto a fresh deployment): first a direct copy out of a
+      //    registered node cache the (deployment-scoped) bus does not know
+      //    about, then a parity-group rebuild — the lost member recomputed
+      //    as the XOR of the surviving members' cached payloads and the
+      //    parity block. Fabric traffic only; the repository is not touched.
+      if (cfg_.redundancy != nullptr) {
+        if (auto resident = co_await cfg_.redundancy->fetch_resident(key,
+                                                                     host_)) {
+          peer_bytes_fetched_ += resident->size();
+          data = std::move(*resident);
+          peer_sourced = true;
+          break;
+        }
+        if (auto rebuilt = co_await cfg_.redundancy->rebuild(key, host_)) {
+          parity_bytes_rebuilt_ += rebuilt->size();
+          data = std::move(*rebuilt);
+          peer_sourced = true;  // same cache-put + publish path as a peer copy
+          break;
+        }
+      }
+      // 4. Repository fetch, single-flight per content key across the
       //    deployment: the losers wait and take the peer copy instead.
       if (bus_ == nullptr || bus_->claim_repo_fetch(key)) {
         RepoClaimGuard claim{bus_, key, bus_ != nullptr};

@@ -38,6 +38,9 @@
 namespace blobcr::flush {
 class FlushAgent;
 }
+namespace blobcr::redundancy {
+class Manager;
+}
 
 namespace blobcr::core {
 
@@ -55,6 +58,10 @@ class MirrorDevice : public img::BlockDevice {
     /// Repository tenant this device's commits and fetches run as (QoS
     /// admission + per-tenant accounting at the shared store).
     net::TenantId tenant = net::kDefaultTenant;
+    /// The deployment's peer parity tier (redundancy::Manager): commits
+    /// fold into XOR groups across peers, and restart gains a parity-
+    /// rebuild level between peer copy and repository fetch. nullptr = off.
+    redundancy::Manager* redundancy = nullptr;
   };
 
   MirrorDevice(blob::BlobStore& store, net::NodeId host,
@@ -104,16 +111,20 @@ class MirrorDevice : public img::BlockDevice {
     return available_.total_length();
   }
   /// Logical bytes materialized from any remote source (repository + peer
-  /// copies). Zero holes and node-cache hits cost no transfer and are not
-  /// counted here.
+  /// copies + parity rebuilds). Zero holes and node-cache hits cost no
+  /// transfer and are not counted here.
   std::uint64_t remote_bytes_fetched() const {
-    return repo_logical_fetched_ + peer_bytes_fetched_;
+    return repo_logical_fetched_ + peer_bytes_fetched_ +
+           parity_bytes_rebuilt_;
   }
   /// Wire bytes pulled from repository data providers (post-reduction
   /// stored size — what the repository actually shipped).
   std::uint64_t repo_bytes_fetched() const { return repo_wire_fetched_; }
   /// Decoded bytes copied from deployment peers instead of the repository.
   std::uint64_t peer_bytes_fetched() const { return peer_bytes_fetched_; }
+  /// Decoded bytes reconstructed from peer parity groups (the redundancy
+  /// tier) instead of fetched from the repository.
+  std::uint64_t parity_bytes_rebuilt() const { return parity_bytes_rebuilt_; }
   /// Decoded bytes served by this node's shared chunk cache (no transfer).
   std::uint64_t cache_hit_bytes() const { return cache_hit_bytes_; }
   /// Bytes of Zero holes materialized locally (no transfer, no payload).
@@ -151,8 +162,9 @@ class MirrorDevice : public img::BlockDevice {
   std::uint64_t chunk_size() const;
   /// Materializes the chunk-aligned gaps of [begin, end) into the local
   /// cache, chunk by chunk: Zero holes locally, then the node's decoded
-  /// cache, then a peer copy, then (last) a repository fetch. Announces
-  /// on-demand chunks to the bus.
+  /// cache, then a peer copy, then a parity-group rebuild (redundancy
+  /// tier), then (last) a repository fetch. Announces on-demand chunks to
+  /// the bus.
   sim::Task<> ensure_available(std::uint64_t begin, std::uint64_t end,
                                bool announce);
   /// One chunk of ensure_available (the [clo, chi) range); `loc` is the
@@ -186,6 +198,7 @@ class MirrorDevice : public img::BlockDevice {
   std::uint64_t repo_wire_fetched_ = 0;
   std::uint64_t repo_logical_fetched_ = 0;
   std::uint64_t peer_bytes_fetched_ = 0;
+  std::uint64_t parity_bytes_rebuilt_ = 0;
   std::uint64_t cache_hit_bytes_ = 0;
   std::uint64_t zero_bytes_ = 0;
   std::uint64_t last_commit_payload_ = 0;

@@ -344,6 +344,33 @@ Task<CheckpointRecord> Catalog::select(const Selector& sel) {
   co_return *rec;
 }
 
+Task<> Catalog::rebuild() {
+  if (!blob_client_)
+    throw CrError("catalog rebuild requires the BlobCR backend");
+  if (!opened_) throw CrError("catalog rebuild requires an opened catalog");
+  // A fresh blob, not a new version of the old one: the old blob's chunk
+  // tuples reference reclaimed chunks, and a partial in-place rewrite would
+  // leave a log that half-reads. Rebinding the name makes the swap atomic
+  // from a discovering driver's point of view.
+  blob_id_ = co_await blob_client_->create(cfg_.record_align);
+  blob_version_ = 0;
+  Buffer log;
+  frames_.clear();
+  for (const CheckpointRecord& rec : records_) {
+    Buffer frame = encode_frame(rec, 0);
+    frames_.push_back({log.size(), frame.size()});
+    log.append(std::move(frame));
+  }
+  end_ = log.size();
+  if (log.size() != 0) {
+    std::vector<blob::Extent> extents;
+    extents.push_back({0, std::move(log)});
+    blob_version_ =
+        co_await blob_client_->write_extents(blob_id_, std::move(extents));
+  }
+  co_await blob_client_->bind_name(cfg_.name, blob_id_);
+}
+
 std::uint64_t Catalog::compact() {
   if (!blob_client_ || blob_id_ == 0 || blob_version_ <= 1) return 0;
   blob::GarbageCollector gc(*cloud_->blob_store());

@@ -87,6 +87,14 @@ class Catalog {
   /// reclaimed bytes. No-op on the PVFS backend (rewrites are in-place).
   std::uint64_t compact();
 
+  /// Disaster recovery (cr::Session::scavenge): re-creates the durable log
+  /// from the in-memory record set after a repository outage destroyed the
+  /// old log's chunks. Writes every record into a *fresh* catalog blob in
+  /// one commit and rebinds the catalog name to it, so a later driver
+  /// discovers the rebuilt lineage exactly as it would the original.
+  /// BlobCR backend only; requires an opened catalog.
+  sim::Task<> rebuild();
+
   blob::BlobId catalog_blob() const { return blob_id_; }
 
  private:

@@ -6,9 +6,13 @@
 #include <unordered_set>
 #include <utility>
 
+#include <map>
+
 #include "blob/gc.h"
 #include "blob/store.h"
 #include "pfs/pvfs.h"
+#include "redundancy/manager.h"
+#include "reduce/rle.h"
 
 namespace blobcr::cr {
 
@@ -111,6 +115,12 @@ Task<CheckpointRecord> Session::publish_staged() {
     }
   }
 
+  // A committed global checkpoint is a durability boundary for the peer
+  // parity tier too: partially filled groups seal now, so every chunk this
+  // record references is rebuildable — not just those whose group happened
+  // to fill during the drain.
+  if (redundancy::Manager* mgr = dep_->redundancy()) mgr->seal_open_groups();
+
   rec.state = RecordState::Complete;
   co_await catalog_.update(rec);
   staged_ = 0;
@@ -174,6 +184,128 @@ Task<CheckpointRecord> Session::restart(const Selector& sel,
   rec.snapshots = std::move(ckpt.snapshots);
   lineage_head_ = rec.id;
   co_return std::move(rec);
+}
+
+namespace {
+
+/// Maps a recovered *decoded* payload back to the stored form the metadata
+/// leaf describes, so a later read decodes it bit-exactly. Every encoding
+/// is deterministic, so re-encoding the same logical bytes reproduces the
+/// same stored payload the dead provider held.
+common::Buffer encode_for_store(const blob::ChunkLocation& loc,
+                                const common::Buffer& decoded) {
+  switch (loc.encoding) {
+    case blob::ChunkEncoding::Raw:
+    case blob::ChunkEncoding::Zero:
+      return decoded;
+    case blob::ChunkEncoding::Rle:
+      // RLE leaves are only ever written for fully-real payloads; a phantom
+      // recovery (modeled-RS rebuild) cannot happen for them, but stay
+      // honest if it somehow does.
+      if (!decoded.fully_real()) return common::Buffer::phantom(loc.size);
+      return common::Buffer::real(reduce::rle_encode(decoded.bytes()));
+    case blob::ChunkEncoding::PhantomRatio:
+      // Stored form is a size-only placeholder at the modeled ratio.
+      return common::Buffer::phantom(loc.size);
+  }
+  return decoded;
+}
+
+}  // namespace
+
+Task<ScavengeReport> Session::scavenge() {
+  co_await init_lineage();
+  blob::BlobStore* store = dep_->cloud().blob_store();
+  if (store == nullptr)
+    throw CrError("scavenge requires the BlobCR backend");
+  ScavengeReport rep;
+
+  // 1. Bring the failed providers back into service with empty stores (the
+  //    outage wiped their disks; the repository skeleton restarts empty).
+  for (const auto& p : store->providers()) p->rejoin();
+
+  // 2. The working set: every payload-bearing leaf referenced by a record
+  //    that must stay restartable, deduplicated by ChunkId. An ordered map
+  //    keeps the restore sequence deterministic.
+  blob::BlobClient client(*store, cfg_.catalog.client_node);
+  client.set_tenant(cfg_.catalog.tenant);
+  std::map<blob::ChunkId, blob::ChunkLocation> want;
+  for (const CheckpointRecord& r : catalog_.records()) {
+    if (r.state != RecordState::Complete && r.state != RecordState::Staged)
+      continue;
+    for (const core::InstanceSnapshot& s : r.snapshots) {
+      if (s.backend != core::Backend::BlobCR || s.image == 0 || s.version == 0)
+        continue;
+      const blob::BlobMeta& meta = store->version_manager().peek(s.image);
+      if (s.version > meta.versions.size()) continue;
+      const std::uint64_t size = meta.version(s.version).size;
+      if (size == 0) continue;
+      const auto refs =
+          co_await client.resolve_chunks(s.image, s.version, 0, size);
+      for (const blob::BlobClient::ChunkRef& ref : refs) {
+        if (ref.loc.id == 0 || ref.loc.encoding == blob::ChunkEncoding::Zero)
+          continue;
+        want.emplace(ref.loc.id, ref.loc);
+      }
+    }
+  }
+  rep.chunks_checked = want.size();
+
+  // 3. Re-create every chunk with no surviving replica from the peer tier
+  //    and point the placement registry at the new homes.
+  blob::ProviderManager& pm = store->provider_manager();
+  redundancy::Manager* mgr = dep_->redundancy();
+  const std::uint64_t parity_before = mgr ? mgr->stats().rebuild_bytes : 0;
+  for (const auto& [id, loc] : want) {
+    std::vector<net::NodeId> live;
+    const auto place = pm.placements().find(id);
+    if (place != pm.placements().end()) {
+      for (const net::NodeId n : place->second.replicas) {
+        blob::DataProvider* p = store->provider_at(n);
+        if (p != nullptr && p->has(id)) live.push_back(n);
+      }
+    }
+    if (!live.empty()) {
+      // A survivor (e.g. a provider that rejoined with data, or a partial
+      // outage) — just prune the dead replicas from the registry.
+      if (place->second.replicas != live) pm.update_placement(id, live);
+      continue;
+    }
+    // Least-loaded live provider takes the restored copy (the manager's
+    // usual balance policy, applied to the scavenge stream).
+    blob::DataProvider* target = nullptr;
+    for (const auto& p : store->providers()) {
+      if (!p->alive()) continue;
+      if (target == nullptr || p->stored_bytes() < target->stored_bytes())
+        target = p.get();
+    }
+    if (target == nullptr) {
+      ++rep.unrecoverable;
+      continue;
+    }
+    const auto payload =
+        co_await dep_->recover_chunk_payload(core::ChunkKey::of(loc),
+                                             target->node());
+    if (!payload.has_value()) {
+      ++rep.unrecoverable;
+      continue;
+    }
+    common::Buffer stored = encode_for_store(loc, payload->data);
+    const std::uint64_t stored_bytes = stored.size();
+    co_await target->store(target->node(), id, std::move(stored));
+    if (place != pm.placements().end())
+      pm.update_placement(id, {target->node()});
+    ++rep.chunks_restored;
+    rep.bytes_restored += stored_bytes;
+  }
+  rep.parity_bytes_rebuilt =
+      (mgr ? mgr->stats().rebuild_bytes : 0) - parity_before;
+
+  // 4. The catalog log's own chunks died with the repository: rewrite the
+  //    in-memory record set into a fresh blob under the same name.
+  co_await catalog_.rebuild();
+  rep.catalog_records = catalog_.records().size();
+  co_return rep;
 }
 
 Task<std::uint64_t> Session::apply_retention() {

@@ -32,6 +32,19 @@
 
 namespace blobcr::cr {
 
+/// Outcome of a repository scavenge pass (Session::scavenge).
+struct ScavengeReport {
+  std::size_t chunks_checked = 0;   // distinct chunks referenced by keepers
+  std::size_t chunks_restored = 0;  // re-stored from the peer tier
+  std::uint64_t bytes_restored = 0;        // stored payload bytes re-created
+  std::uint64_t parity_bytes_rebuilt = 0;  // share recovered via parity
+  std::size_t unrecoverable = 0;    // chunks no tier could produce
+  std::size_t catalog_records = 0;  // records rewritten into the new log
+  /// Every keeper chunk has a live replica again and the catalog log is
+  /// durable — the repository is fully restartable.
+  bool complete() const { return unrecoverable == 0; }
+};
+
 class Session {
  public:
   struct Config {
@@ -92,6 +105,17 @@ class Session {
                                       bool cold_caches = false);
 
   sim::Task<std::vector<CheckpointRecord>> list() { return catalog_.list(); }
+
+  /// Disaster recovery after a repository outage (SCR-style scavenge): every
+  /// data provider died and its stored chunks are gone, but compute nodes —
+  /// and their decoded-chunk caches plus parity groups — survive. Rejoins
+  /// the failed providers with empty stores, re-creates every chunk a
+  /// restartable (Complete/Staged) record references from the peer tier
+  /// (surviving cache copies first, parity rebuild second), re-registers the
+  /// new placements, and rewrites the catalog log into a fresh blob under
+  /// the same name. After a complete() pass the repository is bit-exact
+  /// restartable again. BlobCR backend only.
+  sim::Task<ScavengeReport> scavenge();
 
   /// Applies the retention policy now: Complete records beyond keep-last-N
   /// (minus tagged ones when keep_tagged) retire, their snapshot versions

@@ -10,12 +10,14 @@ namespace blobcr::flush {
 
 FlushAgent::FlushAgent(blob::BlobStore& store, blob::BlobClient& client,
                        storage::Disk& disk, std::uint64_t disk_stream,
-                       blob::CommitReducer* reducer, const FlushConfig& cfg)
+                       blob::CommitReducer* reducer, const FlushConfig& cfg,
+                       redundancy::Manager* redundancy)
     : store_(&store),
       client_(&client),
       disk_(&disk),
       stream_(disk_stream),
       reducer_(reducer),
+      redundancy_(redundancy),
       cfg_(cfg),
       work_wq_(store.simulation()),
       done_wq_(store.simulation()) {
@@ -165,6 +167,30 @@ sim::Task<> FlushAgent::drain_one(StagedCommit c) {
       c.blob, std::move(specs), spool.reader(), std::move(opts));
   last_published_ = v;
   last_drain_stored_ = client_->last_commit_stored_bytes();
+
+  // Peer parity tier: the drained chunks fold into XOR groups across the
+  // deployment (redundancy::Manager). Fired after publish — a kill at this
+  // boundary leaves a published-but-unprotected version, never a torn one.
+  if (probe_) co_await probe_(blob::CommitStage::ParityEncode);
+  if (redundancy_ != nullptr && redundancy_->config().enabled) {
+    std::uint64_t chunk = client_->known_chunk_size(c.blob);
+    if (chunk == 0) chunk = store_->config().default_chunk_size;
+    std::vector<redundancy::Manager::ChunkPayload> protect;
+    for (const common::Range& r : c.ranges.to_vector()) {
+      const auto refs =
+          co_await client_->resolve_chunks(c.blob, v, r.begin, r.length());
+      for (const blob::BlobClient::ChunkRef& ref : refs) {
+        if (ref.loc.id == 0 || ref.loc.encoding == blob::ChunkEncoding::Zero)
+          continue;
+        const std::uint64_t off = ref.index * chunk;
+        if (off < r.begin || off >= r.end) continue;
+        protect.push_back(redundancy::Manager::ChunkPayload{
+            core::ChunkKey::of(ref.loc), ref.loc.id,
+            c.data.read(off, ref.loc.logical())});
+      }
+    }
+    co_await redundancy_->encode_commit(client_->node(), std::move(protect));
+  }
   stats_.drain_time += store_->simulation().now() - c.staged_at;
 }
 

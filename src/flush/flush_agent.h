@@ -30,6 +30,7 @@
 #include "common/rangeset.h"
 #include "common/sparse.h"
 #include "flush/flush.h"
+#include "redundancy/manager.h"
 #include "sim/sim.h"
 #include "storage/disk.h"
 
@@ -37,9 +38,13 @@ namespace blobcr::flush {
 
 class FlushAgent {
  public:
+  /// `redundancy` (optional): after each drain publishes, its committed
+  /// chunks fold into the deployment's peer parity tier — the
+  /// CommitStage::ParityEncode boundary.
   FlushAgent(blob::BlobStore& store, blob::BlobClient& client,
              storage::Disk& disk, std::uint64_t disk_stream,
-             blob::CommitReducer* reducer, const FlushConfig& cfg);
+             blob::CommitReducer* reducer, const FlushConfig& cfg,
+             redundancy::Manager* redundancy = nullptr);
   ~FlushAgent();
 
   FlushAgent(const FlushAgent&) = delete;
@@ -89,6 +94,7 @@ class FlushAgent {
   storage::Disk* disk_;
   std::uint64_t stream_;
   blob::CommitReducer* reducer_;
+  redundancy::Manager* redundancy_;
   FlushConfig cfg_;
   blob::CommitProbe probe_;
 

@@ -85,6 +85,58 @@ inline double expected_makespan(double work, double interval,
   return total;
 }
 
+// --- two-level (peer / repository) checkpoint model -------------------------
+//
+// The redundancy tier (src/redundancy/) makes most failures recoverable
+// from surviving peers: only every k-th checkpoint needs the full
+// repository durability. First-order overhead rate of checkpointing every
+// tau of work at the cheap level (cost C1, covers failures with MTBF M1)
+// and every k*tau at the expensive level (extra cost C2, covers the rarer
+// multi-node/repository losses with MTBF M2):
+//
+//   overhead(tau, k) = (C1 + C2/k)/tau + tau/(2*M1) + k*tau/(2*M2)
+//
+// Joint stationarity gives the closed forms
+//   tau*     = sqrt(2 * C1 * M1)            (Young's optimum at level 1)
+//   k*       = sqrt((C2 * M2) / (C1 * M1))  (the optimal level ratio)
+//   k*·tau*  = sqrt(2 * C2 * M2)            (Young's optimum at level 2)
+// i.e. each level independently runs at its own Young interval.
+
+/// Overhead rate (dimensionless, lost fraction of machine time to first
+/// order) of the two-level scheme at cadence (tau, k). k >= 1.
+inline double two_level_overhead(double tau, double k, double c1, double c2,
+                                 double m1, double m2) {
+  if (tau <= 0 || k < 1 || c1 <= 0 || c2 < 0 || m1 <= 0 || m2 <= 0)
+    throw std::invalid_argument("two_level_overhead: bad arguments");
+  return (c1 + c2 / k) / tau + tau / (2.0 * m1) + k * tau / (2.0 * m2);
+}
+
+/// Jointly optimal two-level cadence.
+struct TwoLevelPlan {
+  double tau = 0;       // cheap-level interval (seconds of useful work)
+  double k = 1;         // level ratio: every k-th checkpoint goes durable
+  double overhead = 0;  // overhead rate at the optimum
+};
+
+inline TwoLevelPlan two_level_optimum(double c1, double c2, double m1,
+                                      double m2) {
+  if (c1 <= 0 || c2 < 0 || m1 <= 0 || m2 <= 0)
+    throw std::invalid_argument("two_level_optimum: bad arguments");
+  TwoLevelPlan plan;
+  plan.k = c2 > 0 ? std::sqrt((c2 * m2) / (c1 * m1)) : 1.0;
+  if (plan.k <= 1.0) {
+    // The expensive level is cheap (or failures there frequent) enough that
+    // every checkpoint should be durable — the scheme degenerates to a
+    // single level of combined cost, at its own Young interval.
+    plan.k = 1.0;
+    plan.tau = std::sqrt((c1 + c2) / (1.0 / (2.0 * m1) + 1.0 / (2.0 * m2)));
+  } else {
+    plan.tau = std::sqrt(2.0 * c1 * m1);
+  }
+  plan.overhead = two_level_overhead(plan.tau, plan.k, c1, c2, m1, m2);
+  return plan;
+}
+
 /// Machine efficiency: useful work over expected makespan, in (0, 1].
 inline double expected_efficiency(double work, double interval,
                                   double ckpt_cost, double restart_cost,

@@ -354,6 +354,7 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
         // lazy-fetch traffic (sampled before the next epoch adds copy-ups).
         report->restart_repo_bytes += dep.boot_repo_bytes();
         report->restart_peer_bytes += dep.boot_peer_bytes();
+        report->parity_bytes_rebuilt += dep.boot_parity_bytes();
       } else {
         // Failure during the initial checkpoint: no rollback target exists,
         // so resubmit from scratch — a fresh deployment from the base image.

@@ -1,9 +1,10 @@
-// ChunkDigestIndex: deployment-scoped content-addressed index over stored
-// chunks (keyed on the FNV-1a content digest from common/digest.h via
-// Buffer::digest, qualified by the raw chunk length). Shared by every
-// mirroring module of a deployment — like the PrefetchBus — so a chunk one
-// rank committed is a dedup hit for every other rank and for every later
-// snapshot version.
+// ChunkDigestIndex: content-addressed index over stored chunks (keyed on
+// the FNV-1a content digest from common/digest.h via Buffer::digest,
+// qualified by the raw chunk length). Repository-scoped by default
+// (ReductionConfig::shared_index, Cloud-owned) so a chunk one tenant
+// committed is a dedup hit for every rank of every job and for every later
+// snapshot version; shared_index = false gives each deployment a private
+// index (the isolated-baseline ablation).
 //
 // Entries are recorded only after a chunk reached all of its replicas
 // (CommitReducer::committed), so the index never references in-flight data.

@@ -1,0 +1,21 @@
+#include "redundancy/parity.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace blobcr::redundancy {
+
+common::Buffer xor_combine(const common::Buffer& a, const common::Buffer& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  if (n == 0) return {};
+  if (!a.fully_real() || !b.fully_real()) return common::Buffer::phantom(n);
+  std::vector<std::byte> out(n, std::byte{0});
+  const auto sa = a.bytes();
+  for (std::size_t i = 0; i < sa.size(); ++i) out[i] = sa[i];
+  const auto sb = b.bytes();
+  for (std::size_t i = 0; i < sb.size(); ++i) out[i] ^= sb[i];
+  return common::Buffer::real(std::move(out));
+}
+
+}  // namespace blobcr::redundancy

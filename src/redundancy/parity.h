@@ -1,0 +1,36 @@
+// Parity primitives for the SCR-style peer redundancy tier (src/redundancy/).
+//
+// Config-only + pure helpers: safe to include from core/cloud.h. The
+// stateful side (group formation, encode, rebuild) lives in manager.h.
+#pragma once
+
+#include <cstddef>
+
+#include "common/buffer.h"
+
+namespace blobcr::redundancy {
+
+/// Deployment knobs, wired through CloudConfig::redundancy.
+struct RedundancyConfig {
+  /// Master switch; off = PR-3 four-level restart hierarchy, byte-identical.
+  bool enabled = false;
+  /// Data members per parity group (the XOR width). Members of one group
+  /// always come from DISTINCT compute nodes, so a single node failure
+  /// costs at most one member per group — the single-erasure case XOR
+  /// reconstructs exactly.
+  std::size_t group_size = 4;
+  /// Parity blocks per group (SCR's m). 1 = plain XOR. m > 1 models
+  /// Reed-Solomon style extra blocks: they add encode traffic and let
+  /// size-only (phantom) payloads survive up to m lost members; bitwise
+  /// reconstruction of real payloads remains the XOR single-erasure case.
+  std::size_t parity_blocks = 1;
+};
+
+/// Bytewise XOR of two payloads, zero-padded to the longer one. Honesty
+/// rule (same as reduce/): phantom content is unknowable, so any phantom
+/// byte in either operand poisons the result to a phantom of the combined
+/// length — sizes, placement and transfer costs still flow, only the
+/// memxor is skipped.
+common::Buffer xor_combine(const common::Buffer& a, const common::Buffer& b);
+
+}  // namespace blobcr::redundancy

@@ -52,6 +52,14 @@ class ChunkStore {
     return true;
   }
 
+  /// Drops every chunk (a wiped disk after fail-stop). The log restarts at
+  /// offset 0 — the store is indistinguishable from a fresh one.
+  void clear() {
+    entries_.clear();
+    stored_bytes_ = 0;
+    log_end_ = 0;
+  }
+
   std::uint64_t stored_bytes() const { return stored_bytes_; }
   std::size_t chunk_count() const { return entries_.size(); }
 

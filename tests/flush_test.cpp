@@ -1,8 +1,9 @@
 // Asynchronous commit pipeline tests: the FlushAgent's provisional-version
 // contract, queue/merge/backpressure policies, and a randomized
 // crash-consistency harness — seeded fail-stop injection at every pipeline
-// stage boundary (staged / reducing / putting / pre-publish / post-publish)
-// followed by a bit-exact restore of the last published version.
+// stage boundary (staged / reducing / putting / pre-publish / post-publish /
+// parity-encode) followed by a bit-exact restore of the last published
+// version.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -22,6 +23,7 @@
 #include "flush/flush_agent.h"
 #include "ft/failure.h"
 #include "ft/runner.h"
+#include "redundancy/manager.h"
 #include "reduce/reducer.h"
 #include "sim/sim.h"
 
@@ -286,9 +288,9 @@ TEST(FlushAgentTest, DrainFailurePoisonsAgentAndDropsQueuedGenerations) {
 // ---------------------------------------------------------------------------
 
 constexpr blob::CommitStage kStages[] = {
-    blob::CommitStage::Staged, blob::CommitStage::Reducing,
-    blob::CommitStage::Putting, blob::CommitStage::PrePublish,
-    blob::CommitStage::PostPublish,
+    blob::CommitStage::Staged,      blob::CommitStage::Reducing,
+    blob::CommitStage::Putting,     blob::CommitStage::PrePublish,
+    blob::CommitStage::PostPublish, blob::CommitStage::ParityEncode,
 };
 
 struct HarnessState {
@@ -315,7 +317,7 @@ void run_one_seed(int seed) {
   const flush::QueuePolicy policy = rng.uniform(2) == 0
                                         ? flush::QueuePolicy::Queue
                                         : flush::QueuePolicy::Merge;
-  const blob::CommitStage kill_stage = kStages[rng.uniform(5)];
+  const blob::CommitStage kill_stage = kStages[rng.uniform(6)];
   const int doomed_commits = 1 + static_cast<int>(rng.uniform(2));
 
   FlushRig rig(with_reduction);
@@ -504,6 +506,174 @@ TEST(FlushFtIntegrationTest, SyntheticScenarioReportsBlockedTimeAndSizes) {
     // though the snapshots were recorded while provisional.
     EXPECT_GT(res.snapshot_bytes_per_vm[r], 0u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Parity redundancy tier (src/redundancy/): XOR reconstruction correctness,
+// and fail-stop exactly at the ParityEncode stage boundary — the commit has
+// published by then, so the latest version must restore bit-exactly, the
+// kill must leave no half-registered group state, and a GC pass over the
+// crashed lineage must leave no orphaned parity blocks in holder caches.
+// ---------------------------------------------------------------------------
+
+TEST(RedundancyManagerTest, XorRebuildReconstructsLostMemberBitExact) {
+  Simulation s;
+  net::Fabric::Config fcfg;
+  fcfg.node_count = 4;
+  fcfg.nic_bandwidth_bps = 1e9;
+  fcfg.latency = 50 * sim::kMicrosecond;
+  net::Fabric fabric(s, fcfg);
+  redundancy::RedundancyConfig rcfg;
+  rcfg.enabled = true;
+  rcfg.group_size = 3;
+  rcfg.parity_blocks = 1;
+  redundancy::Manager mgr(s, fabric, rcfg, {});
+  core::DecodedChunkCache c0(1 << 22), c1(1 << 22), c2(1 << 22), c3(1 << 22);
+  mgr.attach(0, &c0);
+  mgr.attach(1, &c1);
+  mgr.attach(2, &c2);
+  mgr.attach(3, &c3);
+
+  // Distinct payloads (one deliberately shorter: the XOR zero-pads).
+  const Buffer a = Buffer::pattern(kChunk, 11);
+  const Buffer b = Buffer::pattern(kChunk, 22);
+  const Buffer c = Buffer::pattern(kChunk / 2, 33);
+  const auto key = [](blob::ChunkId id) { return core::ChunkKey{id, 0}; };
+
+  const auto run = [&s](Task<> t) {
+    auto p = s.spawn("t", std::move(t));
+    s.run();
+    if (p->error()) std::rethrow_exception(p->error());
+  };
+  const auto one = [&key](blob::ChunkId id, const Buffer& data) {
+    std::vector<redundancy::Manager::ChunkPayload> v;
+    v.push_back(redundancy::Manager::ChunkPayload{key(id), id, data});
+    return v;
+  };
+  run([&]() -> Task<> {
+    co_await mgr.encode_commit(0, one(101, a));
+    co_await mgr.encode_commit(2, one(102, b));
+    co_await mgr.encode_commit(3, one(103, c));
+  }());
+  ASSERT_EQ(mgr.stats().groups_sealed, 1u);
+  ASSERT_TRUE(mgr.protects(key(102)));
+  EXPECT_EQ(mgr.resident_parity_blocks(), 1u);
+
+  // Node 2 dies: its cached payload is gone, the sealed group survives.
+  c2.clear();
+  mgr.drop_node(2);
+  ASSERT_TRUE(mgr.protects(key(102)));
+
+  // The lost member reconstructs bit-exactly from the survivors + parity.
+  std::optional<Buffer> rebuilt;
+  run([&]() -> Task<> {
+    rebuilt = co_await mgr.rebuild(key(102), 3);
+  }());
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_TRUE(*rebuilt == b) << "XOR rebuild diverged from the lost payload";
+  EXPECT_EQ(mgr.stats().rebuilds, 1u);
+  EXPECT_EQ(mgr.stats().rebuild_bytes, b.size());
+
+  // GC reclaim of any member invalidates the group and erases its parity
+  // from the holder cache — no orphaned parity blocks.
+  mgr.forget_chunks({101});
+  EXPECT_FALSE(mgr.protects(key(102)));
+  EXPECT_EQ(mgr.resident_parity_blocks(), 0u);
+  EXPECT_EQ(mgr.stats().parity_blocks, 0u);
+  EXPECT_GE(mgr.stats().groups_dropped, 1u);
+}
+
+TEST(FlushParityTest, KillAtParityEncodeRestoresBitExactWithNoOrphanedParity) {
+  FlushRig rig;
+  redundancy::RedundancyConfig rcfg;
+  rcfg.enabled = true;
+  rcfg.group_size = 4;
+  rcfg.parity_blocks = 1;
+  redundancy::Manager mgr(rig.sim, *rig.fabric, rcfg, {});
+  const std::uint64_t hook = rig.store->add_chunk_reclaim_hook(
+      [&mgr](const std::vector<blob::ChunkId>& ids) {
+        mgr.forget_chunks(ids);
+      });
+
+  core::MirrorDevice::Config mcfg = mirror_config(flush::QueuePolicy::Queue, 2);
+  mcfg.redundancy = &mgr;
+  // Two committing nodes so parity groups can form (the tier needs >= 2
+  // attached nodes; with 2, each member seals into a width-1 group whose
+  // parity block lives on the *other* node — a peer-held replica).
+  auto m0 = std::make_unique<core::MirrorDevice>(
+      *rig.store, rig.host, *rig.disks[3], 99, rig.base, 1, mcfg, nullptr,
+      nullptr);
+  auto m1 = std::make_unique<core::MirrorDevice>(
+      *rig.store, static_cast<net::NodeId>(rig.host - 1), *rig.disks[3], 101,
+      rig.base, 1, mcfg, nullptr, nullptr);
+
+  // Baseline: both nodes publish a snapshot; the drains encode parity.
+  blob::BlobId ckpt0 = 0;
+  const Buffer base_content = Buffer::pattern(2 * kChunk, 7);
+  rig.run([&]() -> Task<> {
+    ckpt0 = co_await m0->ioctl_clone();
+    co_await m0->write(0, base_content);
+    (void)co_await m0->ioctl_commit();
+    const blob::BlobId ckpt1 = co_await m1->ioctl_clone();
+    co_await m1->write(0, Buffer::pattern(2 * kChunk, 9));
+    (void)co_await m1->ioctl_commit();
+    co_await m0->wait_drained();
+    co_await m1->wait_drained();
+    (void)ckpt1;
+  }());
+  ASSERT_GT(mgr.stats().members_encoded, 0u) << "parity tier never engaged";
+  ASSERT_GT(mgr.stats().groups_sealed, 0u);
+  EXPECT_EQ(mgr.stats().parity_blocks, mgr.resident_parity_blocks());
+
+  // Doomed commit on m0, fail-stopped exactly at the ParityEncode boundary.
+  // The stage fires after publish, so the version IS durable; the kill must
+  // leave the group state exactly as it was before the commit.
+  const std::uint64_t encoded_before = mgr.stats().members_encoded;
+  bool armed = true;
+  core::MirrorDevice* mp = m0.get();
+  m0->flush_agent()->set_stage_probe(
+      [&rig, &armed, mp](blob::CommitStage s) -> Task<> {
+        if (armed && s == blob::CommitStage::ParityEncode) {
+          armed = false;
+          rig.sim.call_in(0, [mp] { mp->flush_agent()->fail_stop(); });
+          co_await rig.never.wait();  // killed while suspended here
+        }
+      });
+  const Buffer doomed_content = Buffer::pattern(2 * kChunk, 13);
+  rig.run([&]() -> Task<> {
+    co_await m0->write(0, doomed_content);
+    (void)co_await m0->ioctl_commit();
+    co_await rig.sim.delay(2 * sim::kSecond);
+  }());
+  EXPECT_TRUE(m0->flush_agent()->failed()) << "parity-encode kill never fired";
+  EXPECT_EQ(mgr.stats().members_encoded, encoded_before)
+      << "a fail-stop mid-encode half-registered a member";
+  EXPECT_EQ(mgr.stats().parity_blocks, mgr.resident_parity_blocks());
+
+  // The doomed commit published before the kill: it restores bit-exactly.
+  rig.run([&]() -> Task<> {
+    blob::BlobClient client(*rig.store, rig.host);
+    const blob::BlobMeta meta = co_await client.stat(ckpt0);
+    const Buffer got =
+        co_await client.read(ckpt0, meta.latest(), 0, doomed_content.size());
+    EXPECT_TRUE(got == doomed_content) << "published version is torn";
+  }());
+
+  // GC the superseded baseline version. Its chunks were parity members; the
+  // reclaim hook must drop their groups and erase the parity blocks from
+  // the holder caches — nothing orphaned.
+  const std::uint64_t dropped_before = mgr.stats().groups_dropped;
+  blob::GarbageCollector gc(*rig.store);
+  rig.run([&]() -> Task<> {
+    blob::BlobClient client(*rig.store, rig.host);
+    const blob::BlobMeta meta = co_await client.stat(ckpt0);
+    (void)gc.collect(ckpt0, meta.latest());
+  }());
+  EXPECT_GT(mgr.stats().groups_dropped, dropped_before)
+      << "GC reclaim never invalidated the superseded parity groups";
+  EXPECT_EQ(mgr.stats().parity_blocks, mgr.resident_parity_blocks())
+      << "orphaned parity blocks survived the GC";
+  rig.store->remove_chunk_reclaim_hook(hook);
 }
 
 TEST(FlushCrashConsistencyTest, RandomKillNeverExposesTornSnapshot) {
