@@ -45,6 +45,10 @@ GATED_COUNTERS = {
     # `verified` flip check covers the strictly-fewer-repo-bytes inequality
     # and the bit-exact post-scavenge restart.)
     "rebuild_s": ("repository scavenge rebuild [s]", 0.05),
+    # Elastic (N -> M) restart: cold shrink rescale makespan.
+    # (repo_mb_per_inst above also gates the rescale's repository pull, and
+    # `verified` covers the union digest check + M-tuple catalog invariant.)
+    "rescale_restart_s": ("elastic rescale restart makespan [s]", 0.05),
 }
 # Default file set: the restart- and commit-path benches the gate protects.
 DEFAULT_FILES = [
@@ -55,6 +59,7 @@ DEFAULT_FILES = [
     "BENCH_ablation_async_flush.json",
     "BENCH_ablation_multitenant.json",
     "BENCH_ablation_redundancy.json",
+    "BENCH_ablation_elastic.json",
 ]
 
 

@@ -95,6 +95,17 @@ def test_commit_path_counters_are_gated(tmp_path):
     assert run_gate(tmp_path, fresh_bad, base) == 1
 
 
+def test_elastic_rescale_makespan_is_gated(tmp_path):
+    base = {"AblationElastic/rescale-restart":
+            {"rescale_restart_s": 10.0, "verified": 1}}
+    fresh_ok = {"AblationElastic/rescale-restart":
+                {"rescale_restart_s": 12.0, "verified": 1}}  # +20% < +25%
+    fresh_bad = {"AblationElastic/rescale-restart":
+                 {"rescale_restart_s": 13.0, "verified": 1}}  # +30% > +25%
+    assert run_gate(tmp_path, fresh_ok, base) == 0
+    assert run_gate(tmp_path, fresh_bad, base) == 1
+
+
 def test_missing_fresh_file_fails(tmp_path):
     # A bench that crashed (no fresh JSON) must fail the gate, not skip.
     write(tmp_path / "base", FILE, {"Fig3/p": {"restart_s": 1.0}})

@@ -87,11 +87,57 @@ struct RunResult {
   sim::Duration tenant_commit_wait = 0;
 };
 
+/// Elastic (N -> M) restart scenario: N workers each write a distinct data
+/// buffer to disk, the line commits as one global checkpoint, and the job
+/// restarts as M instances through cr::Session's elastic path (shrink on a
+/// spot reclaim, grow on a queue drain). Verification covers the *union* of
+/// device images across the remap: every new boot device and every attached
+/// volume digest-checks against its source instance's pre-checkpoint state,
+/// and all N sources must be covered by the M shards.
+struct ElasticRun {
+  std::size_t instances = 4;          // N, before the rescale
+  std::size_t restart_instances = 2;  // M, after
+  std::uint64_t buffer_bytes = 50 * common::kMB;
+  bool real_data = true;
+  /// Cold restart semantics (machines reclaimed, caches gone) vs warm
+  /// (surviving caches keep serving peer copies across the rescale).
+  bool cold_caches = true;
+  std::size_t restart_shift = 7;
+  /// Commit a post-rescale checkpoint and report its tuple count
+  /// (ElasticResult::tuples_after) — the catalog's M-tuple invariant.
+  bool recheckpoint = false;
+};
+
+struct ElasticResult {
+  sim::Duration deploy_time = 0;
+  /// Pre-rescale global checkpoint completion time.
+  sim::Duration checkpoint_time = 0;
+  /// Rescaled restart makespan: teardown + remap + boot + state restore
+  /// and union verification reads.
+  sim::Duration restart_time = 0;
+  /// Restart transfer split across the rescale (boot devices + attached
+  /// volumes; BlobCR backend).
+  std::uint64_t restart_repo_bytes = 0;
+  std::uint64_t restart_peer_bytes = 0;
+  std::uint64_t restart_parity_bytes = 0;
+  /// Every shard digest-verified AND every source covered (real-data runs;
+  /// size checks only in phantom mode).
+  bool verified = true;
+  /// Boot devices + attached volumes checked (== N when coverage is full).
+  std::size_t shards_verified = 0;
+  /// Tuple count of the post-rescale checkpoint (0 when recheckpoint off).
+  std::size_t tuples_after = 0;
+};
+
 /// Runs the synthetic workload on an already-constructed cloud. The cloud's
 /// backend decides BlobCR vs qcow2-disk; CkptMode::FullVm requires the
 /// Qcow2Full backend.
 RunResult run_synthetic(core::Cloud& cloud, const SyntheticRun& run,
                         CkptMode mode);
+
+/// Runs the elastic restart scenario (BlobCR or qcow2-disk backend;
+/// qcow2-full cannot rescale and is refused by the session).
+ElasticResult run_elastic(core::Cloud& cloud, const ElasticRun& run);
 
 /// Runs the CM1 case study (AppLevel or ProcessBlcr).
 RunResult run_cm1(core::Cloud& cloud, const Cm1Run& run, CkptMode mode);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "common/strutil.h"
 #include "flush/flush_agent.h"
@@ -241,6 +242,21 @@ Deployment::Deployment(Cloud& cloud, std::size_t instances,
                                               : nullptr);
   }
   mpi_ = std::make_unique<mpi::MpiWorld>(cloud.simulation(), cloud.fabric());
+  validate_placement();
+}
+
+void Deployment::validate_placement() const {
+  const std::size_t c = cloud_->config().compute_nodes;
+  if (count_ > c) {
+    // compute_node() wraps modulo the pool, so a deployment wider than the
+    // pool would silently co-locate two instances on one physical node —
+    // breaking the redundancy tier's distinct-node durability assumption
+    // and corrupting peer-vs-repository byte accounting. Refuse loudly.
+    throw std::invalid_argument(common::strf(
+        "deployment of %zu instances cannot be placed on %zu compute nodes "
+        "without co-locating two instances on one node",
+        count_, c));
+  }
 }
 
 Deployment::~Deployment() {
@@ -438,8 +454,10 @@ void Deployment::fail_instance(std::size_t i) {
   if (DecodedChunkCache* cache = cloud_->chunk_cache(inst.node)) {
     cache->clear();
   }
-  // Open parity groups touching the node die with it; sealed groups stay —
-  // rebuilding this node's members is exactly what the tier is for.
+  // Open parity groups touching the node die with it, as do sealed groups
+  // whose parity *holder* it was (their blocks are gone with the cache);
+  // sealed groups where it was only a member stay — rebuilding this node's
+  // members is exactly what the tier is for.
   if (redundancy::Manager* mgr = cloud_->redundancy()) mgr->drop_node(inst.node);
   cloud_->fail_node(inst.node);
 }
@@ -455,7 +473,9 @@ sim::Task<> Deployment::wait_drained(std::size_t i) {
 
 sim::Task<> Deployment::build_instance_from_snapshot(std::size_t i,
                                                      net::NodeId node,
-                                                     InstanceSnapshot snap) {
+                                                     InstanceSnapshot snap,
+                                                     bool adopt_image) {
+  if (restart_probe_) restart_probe_(i);
   auto inst = std::make_unique<Instance>();
   inst->index = i;
   inst->node = node;
@@ -475,8 +495,10 @@ sim::Task<> Deployment::build_instance_from_snapshot(std::size_t i,
         cloud.next_disk_stream(node), snap.image, snap.version, mcfg,
         cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_.get(),
         cloud.chunk_cache(node));
-    // Subsequent checkpoints land in the same checkpoint image.
-    inst->mirror->set_checkpoint_blob(snap.image, snap.version);
+    // Subsequent checkpoints land in the same checkpoint image — except for
+    // an elastic clone (M > N), which shares its source tuple with another
+    // instance and must derive a fresh image on its first commit instead.
+    if (adopt_image) inst->mirror->set_checkpoint_blob(snap.image, snap.version);
     inst->proxy = std::make_unique<CheckpointProxy>(
         cloud.simulation(), cloud.fabric(), node, cfg.proxy_auth_cost);
   } else {
@@ -527,16 +549,39 @@ void Deployment::kill_restart_scheduler() {
   restart_scheduler_ = nullptr;
 }
 
-sim::Task<> Deployment::restart_from(const GlobalCheckpoint& ckpt,
-                                     std::size_t node_offset) {
+void Deployment::prepare_restart(std::size_t count, std::size_t node_offset) {
   kill_restart_scheduler();  // it references the mirrors cleared below
   destroy_all();
   // Fresh namespace for post-restart snapshot files.
   seq_ = cloud_->next_deployment_seq();
   node_offset_ = node_offset;
-  count_ = ckpt.snapshots.size();
+  count_ = count;
+  validate_placement();
   instances_.clear();
   instances_.resize(count_);
+}
+
+void Deployment::spawn_restart_scheduler() {
+  // Restart scheduler: resolve every attached mirror's snapshot to chunk
+  // identity tuples and start popularity-ordered background prefetch
+  // (most-shared chunks first), so one repository fetch per distinct chunk
+  // feeds the whole deployment through peer copies while the guests
+  // restore. The bus iterates ALL attached mirrors — elastic shrink's
+  // attached data volumes are in the popularity order automatically. Runs
+  // as a background process — control-plane resolution overlaps the
+  // restore instead of serializing inside the restart window.
+  const CloudConfig& cfg = cloud_->config();
+  if (cfg.backend == Backend::BlobCR && cfg.adaptive_prefetch &&
+      cfg.restart_prefetch_budget > 0) {
+    restart_scheduler_ = cloud_->simulation().spawn(
+        "restart-scheduler",
+        bus_->schedule_restart_prefetch(cfg.restart_prefetch_budget));
+  }
+}
+
+sim::Task<> Deployment::restart_from(const GlobalCheckpoint& ckpt,
+                                     std::size_t node_offset) {
+  prepare_restart(ckpt.snapshots.size(), node_offset);
   std::vector<sim::Task<>> boots;
   boots.reserve(count_);
   for (std::size_t i = 0; i < count_; ++i) {
@@ -544,18 +589,64 @@ sim::Task<> Deployment::restart_from(const GlobalCheckpoint& ckpt,
         i, cloud_->compute_node(node_offset + i), ckpt.snapshots[i]));
   }
   co_await sim::when_all(cloud_->simulation(), std::move(boots));
-  // Restart scheduler: resolve every instance's snapshot to chunk identity
-  // tuples and start popularity-ordered background prefetch (most-shared
-  // chunks first), so one repository fetch per distinct chunk feeds the
-  // whole deployment through peer copies while the guests restore. Runs as
-  // a background process — control-plane resolution overlaps the restore
-  // instead of serializing inside the restart window.
-  const CloudConfig& cfg = cloud_->config();
-  if (cfg.backend == Backend::BlobCR && cfg.adaptive_prefetch &&
-      cfg.restart_prefetch_budget > 0) {
-    restart_scheduler_ = cloud_->simulation().spawn(
-        "restart-scheduler",
-        bus_->schedule_restart_prefetch(cfg.restart_prefetch_budget));
+  spawn_restart_scheduler();
+}
+
+sim::Task<> Deployment::restart_from(const RestartPlan& plan,
+                                     std::size_t node_offset) {
+  prepare_restart(plan.instances.size(), node_offset);
+  std::vector<sim::Task<>> boots;
+  boots.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    boots.push_back(build_instance_from_plan(
+        i, cloud_->compute_node(node_offset + i), plan.instances[i]));
+  }
+  co_await sim::when_all(cloud_->simulation(), std::move(boots));
+  spawn_restart_scheduler();
+}
+
+sim::Task<> Deployment::build_instance_from_plan(std::size_t i,
+                                                 net::NodeId node,
+                                                 const InstancePlan& plan) {
+  co_await build_instance_from_snapshot(i, node, plan.boot,
+                                        /*adopt_image=*/!plan.fresh_image);
+  // Extra shards (elastic M < N) come up as attached data volumes on the
+  // same node, served by the same restart data plane as the boot device.
+  Instance& inst = *instances_.at(i);
+  Cloud& cloud = *cloud_;
+  const CloudConfig& cfg = cloud.config();
+  for (const InstanceSnapshot& src : plan.attached) {
+    auto vol = std::make_unique<AttachedVolume>();
+    vol->source = src;
+    if (cfg.backend == Backend::BlobCR) {
+      MirrorDevice::Config acfg;
+      acfg.capacity = cloud.image_size();
+      // Nothing commits through a data volume: no async drain, but the
+      // parity tier still protects chunks its fetches seed into the cache.
+      acfg.flush = flush::FlushConfig{};
+      acfg.tenant = tenant_;
+      acfg.redundancy = cloud.redundancy();
+      vol->mirror = std::make_unique<MirrorDevice>(
+          *cloud.blob_store(), node, cloud.disk(node),
+          cloud.next_disk_stream(node), src.image, src.version, acfg,
+          cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_.get(),
+          cloud.chunk_cache(node));
+    } else {
+      auto backing = co_await pfs::PvfsFileStore::open(
+          *cloud.pvfs(), node, cloud.base_pvfs_path(), false);
+      vol->qcow_backing = std::move(backing);
+      auto container = co_await pfs::PvfsFileStore::open(
+          *cloud.pvfs(), node, src.pvfs_path, false);
+      vol->qcow_container = std::move(container);
+      img::QcowImage::Config qcfg;
+      qcfg.cluster_size = cfg.qcow_cluster_size;
+      qcfg.virtual_size = cloud.image_size();
+      vol->qcow = std::make_unique<img::QcowImage>(
+          *vol->qcow_container, vol->qcow_backing.get(), qcfg);
+      co_await vol->qcow->open_existing(src.qcow_state);
+      vol->qcow_dev = std::make_unique<img::QcowDevice>(*vol->qcow);
+    }
+    inst.attached.push_back(std::move(vol));
   }
 }
 
@@ -574,7 +665,11 @@ sim::Task<sim::Duration> Deployment::migrate_instance(std::size_t i,
 std::uint64_t Deployment::boot_remote_bytes() const {
   std::uint64_t total = 0;
   for (const auto& inst : instances_) {
-    if (inst && inst->mirror) total += inst->mirror->remote_bytes_fetched();
+    if (!inst) continue;
+    if (inst->mirror) total += inst->mirror->remote_bytes_fetched();
+    for (const auto& vol : inst->attached) {
+      if (vol->mirror) total += vol->mirror->remote_bytes_fetched();
+    }
   }
   return total;
 }
@@ -582,7 +677,11 @@ std::uint64_t Deployment::boot_remote_bytes() const {
 std::uint64_t Deployment::boot_repo_bytes() const {
   std::uint64_t total = 0;
   for (const auto& inst : instances_) {
-    if (inst && inst->mirror) total += inst->mirror->repo_bytes_fetched();
+    if (!inst) continue;
+    if (inst->mirror) total += inst->mirror->repo_bytes_fetched();
+    for (const auto& vol : inst->attached) {
+      if (vol->mirror) total += vol->mirror->repo_bytes_fetched();
+    }
   }
   return total;
 }
@@ -590,7 +689,11 @@ std::uint64_t Deployment::boot_repo_bytes() const {
 std::uint64_t Deployment::boot_peer_bytes() const {
   std::uint64_t total = 0;
   for (const auto& inst : instances_) {
-    if (inst && inst->mirror) total += inst->mirror->peer_bytes_fetched();
+    if (!inst) continue;
+    if (inst->mirror) total += inst->mirror->peer_bytes_fetched();
+    for (const auto& vol : inst->attached) {
+      if (vol->mirror) total += vol->mirror->peer_bytes_fetched();
+    }
   }
   return total;
 }
@@ -598,7 +701,11 @@ std::uint64_t Deployment::boot_peer_bytes() const {
 std::uint64_t Deployment::boot_parity_bytes() const {
   std::uint64_t total = 0;
   for (const auto& inst : instances_) {
-    if (inst && inst->mirror) total += inst->mirror->parity_bytes_rebuilt();
+    if (!inst) continue;
+    if (inst->mirror) total += inst->mirror->parity_bytes_rebuilt();
+    for (const auto& vol : inst->attached) {
+      if (vol->mirror) total += vol->mirror->parity_bytes_rebuilt();
+    }
   }
   return total;
 }

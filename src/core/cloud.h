@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -123,6 +124,24 @@ struct GlobalCheckpoint {
     for (const auto& s : snapshots) sum += s.bytes;
     return sum;
   }
+};
+
+/// One new instance's share of an elastic (N -> M) restart: the snapshot it
+/// boots from, plus any extra source tuples it adopts as attached data
+/// volumes (M < N shards). Built by cr::build_restart_plan (src/cr/remap.h).
+struct InstancePlan {
+  InstanceSnapshot boot;
+  /// M > N clones: the instance lazy-fetches the source snapshot but must
+  /// NOT adopt its checkpoint image — the first commit derives a fresh one,
+  /// so no two instances ever commit into the same image.
+  bool fresh_image = false;
+  std::vector<InstanceSnapshot> attached;
+};
+
+/// The instance-level payload of a rescaling restart: one InstancePlan per
+/// new instance, replacing the classic path's implied 1:1 tuple mapping.
+struct RestartPlan {
+  std::vector<InstancePlan> instances;
 };
 
 class Deployment;
@@ -258,6 +277,27 @@ class Deployment {
     std::optional<flush::FlushConfig> flush;
   };
 
+  /// An extra source snapshot an instance adopted across an elastic shrink
+  /// (M < N): a full device image of one pre-rescale instance, attached as
+  /// a data volume next to the boot disk. Read-only in spirit — nothing
+  /// commits through it — but served by the same content-addressed restart
+  /// data plane (lazy fetch, peer copies, scheduled prefetch) as the boot
+  /// device.
+  struct AttachedVolume {
+    InstanceSnapshot source;
+    // Exactly one device family is populated, by backend.
+    std::unique_ptr<MirrorDevice> mirror;
+    std::unique_ptr<pfs::PvfsFileStore> qcow_backing;
+    std::unique_ptr<storage::ByteStore> qcow_container;
+    std::unique_ptr<img::QcowImage> qcow;
+    std::unique_ptr<img::QcowDevice> qcow_dev;
+
+    img::BlockDevice& device() {
+      if (mirror) return *mirror;
+      return *qcow_dev;
+    }
+  };
+
   struct Instance {
     std::size_t index = 0;
     net::NodeId node = 0;
@@ -274,6 +314,8 @@ class Deployment {
     std::unique_ptr<QcowFullProxy> qfull_proxy;
     std::uint64_t snapshot_counter = 0;
     InstanceSnapshot last_snapshot;
+    /// Extra pre-rescale shards adopted by this instance (elastic M < N).
+    std::vector<std::unique_ptr<AttachedVolume>> attached;
 
     img::BlockDevice& device() {
       if (mirror) return *mirror;
@@ -288,6 +330,14 @@ class Deployment {
 
   std::size_t size() const { return count_; }
   Cloud& cloud() const { return *cloud_; }
+  /// Attached data volumes instance i adopted across an elastic shrink
+  /// (0 outside a rescaled deployment).
+  std::size_t attached_count(std::size_t i) const {
+    return instances_.at(i)->attached.size();
+  }
+  AttachedVolume& attached_volume(std::size_t i, std::size_t k) {
+    return *instances_.at(i)->attached.at(k);
+  }
   /// The repository tenant this deployment's instances commit as.
   net::TenantId tenant() const { return tenant_; }
   /// The flush configuration this deployment's mirrors actually run
@@ -354,6 +404,22 @@ class Deployment {
   sim::Task<> restart_from(const GlobalCheckpoint& ckpt,
                            std::size_t node_offset);
 
+  /// Elastic restart: rebuilds the deployment from a per-instance plan
+  /// (possibly a different instance count than before — see cr/remap.h for
+  /// the shard assignment). Each instance boots from its plan's boot
+  /// snapshot; extra shards come up as attached data volumes; fresh_image
+  /// instances derive a new checkpoint image on their first commit. The
+  /// plan must stay alive until the task completes.
+  sim::Task<> restart_from(const RestartPlan& plan, std::size_t node_offset);
+
+  /// Test scaffolding (crash-harness style, like flush's stage probes):
+  /// invoked with the instance index at the start of every per-instance
+  /// rebuild inside restart_from. A throwing probe models a mid-restart
+  /// boot failure. nullptr disables.
+  void set_restart_probe(std::function<void(std::size_t)> probe) {
+    restart_probe_ = std::move(probe);
+  }
+
   /// Migrates one instance to `target` through a disk snapshot (§3.1.3:
   /// snapshots "are much easier to migrate" than difference files). The
   /// virtual disk state as of the snapshot moves; guest processes do not
@@ -384,9 +450,22 @@ class Deployment {
 
  private:
   void kill_restart_scheduler();
+  /// Throws when `count_` instances cannot be placed on distinct compute
+  /// nodes (the redundancy tier's durability and the peer-vs-repo byte
+  /// accounting both assume one instance per node).
+  void validate_placement() const;
+  /// Shared restart prologue: kill the scheduler, tear down, re-namespace,
+  /// adopt the new count/offset (validated) and clear the instance table.
+  void prepare_restart(std::size_t count, std::size_t node_offset);
+  /// Spawns the popularity-ordered background prefetch over every mirror
+  /// attached to the bus (boot devices AND attached volumes).
+  void spawn_restart_scheduler();
   void build_instance_fresh(std::size_t i, net::NodeId node);
   sim::Task<> build_instance_from_snapshot(std::size_t i, net::NodeId node,
-                                           InstanceSnapshot snap);
+                                           InstanceSnapshot snap,
+                                           bool adopt_image = true);
+  sim::Task<> build_instance_from_plan(std::size_t i, net::NodeId node,
+                                       const InstancePlan& plan);
   sim::Task<> boot_instance(std::size_t i);
 
   Cloud* cloud_;
@@ -398,6 +477,7 @@ class Deployment {
   /// The restart scheduler runs in the background (it references the
   /// instances' mirrors, so it is killed before they are torn down).
   sim::ProcessPtr restart_scheduler_;
+  std::function<void(std::size_t)> restart_probe_;
   std::unique_ptr<PrefetchBus> bus_;
   std::unique_ptr<reduce::Reducer> reducer_;
   std::unique_ptr<mpi::MpiWorld> mpi_;

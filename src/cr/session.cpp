@@ -10,6 +10,8 @@
 
 #include "blob/gc.h"
 #include "blob/store.h"
+#include "common/strutil.h"
+#include "cr/remap.h"
 #include "pfs/pvfs.h"
 #include "redundancy/manager.h"
 #include "reduce/rle.h"
@@ -165,6 +167,36 @@ Task<CheckpointRecord> Session::checkpoint(std::string tag) {
 Task<CheckpointRecord> Session::restart(const Selector& sel,
                                         std::size_t node_offset,
                                         bool cold_caches) {
+  co_return co_await restart(sel,
+                             RestartOptions{node_offset, cold_caches, 0});
+}
+
+Task<> Session::clone_qcow_containers(core::RestartPlan& plan) {
+  pfs::PvfsClient client(*dep_->cloud().pvfs(), cfg_.catalog.client_node);
+  for (std::size_t i = 0; i < plan.instances.size(); ++i) {
+    core::InstancePlan& ip = plan.instances[i];
+    if (!ip.fresh_image || ip.boot.backend != core::Backend::Qcow2Disk)
+      continue;
+    const std::string dst = common::strf(
+        "/ckpt/rescale_d%llu_inst%zu.qcow2",
+        static_cast<unsigned long long>(dep_->cloud().next_deployment_seq()),
+        i);
+    const std::uint64_t total = co_await client.stat_size(ip.boot.pvfs_path);
+    const pfs::FileId src = co_await client.open(ip.boot.pvfs_path);
+    const pfs::FileId file = co_await client.create(dst);
+    constexpr std::uint64_t kPiece = 16 * 1024 * 1024;
+    std::uint64_t off = 0;
+    while (off < total) {
+      const std::uint64_t len = std::min(kPiece, total - off);
+      co_await client.write(file, off, co_await client.read(src, off, len));
+      off += len;
+    }
+    ip.boot.pvfs_path = dst;
+  }
+}
+
+Task<CheckpointRecord> Session::restart(const Selector& sel,
+                                        const RestartOptions& opts) {
   co_await init_lineage();
   CheckpointRecord rec = co_await catalog_.select(sel);
   // Whatever was staged (by this session or a dead driver this catalog was
@@ -173,14 +205,37 @@ Task<CheckpointRecord> Session::restart(const Selector& sel,
   for (const CheckpointRecord& r : catalog_.records()) {
     if (r.state == RecordState::Staged) co_await mark_incomplete(r.id);
   }
+
+  const std::size_t n = rec.snapshots.size();
+  const std::size_t m = opts.instances == 0 ? n : opts.instances;
+  if (m != n) {
+    // Elastic path: build the remap plan BEFORE touching the deployment, so
+    // a refused rescale (qcow2-full, m == 0) leaves it running.
+    core::RestartPlan plan = build_restart_plan(rec.snapshots, m);
+    if (dep_->cloud().pvfs() != nullptr) co_await clone_qcow_containers(plan);
+    dep_->destroy_all();
+    if (opts.cold_caches) dep_->forget_node_caches();
+    co_await dep_->restart_from(plan, opts.node_offset);
+    lineage_head_ = rec.id;
+    co_return std::move(rec);
+  }
+
   dep_->destroy_all();
-  if (cold_caches) dep_->forget_node_caches();
+  if (opts.cold_caches) dep_->forget_node_caches();
   // Lend the tuples to the restart payload instead of deep-copying every
   // snapshot (incl. qcow table state) per rollback; restart_from takes the
   // checkpoint by reference and only copies each instance's own snapshot.
   core::GlobalCheckpoint ckpt;
   ckpt.snapshots = std::move(rec.snapshots);
-  co_await dep_->restart_from(ckpt, node_offset);
+  try {
+    co_await dep_->restart_from(ckpt, opts.node_offset);
+  } catch (...) {
+    // Give the tuples back: the returned-record path (and any retry from
+    // the same record object) must see the full snapshot line even though
+    // the deployment is half-built. lineage_head_ stays untouched.
+    rec.snapshots = std::move(ckpt.snapshots);
+    throw;
+  }
   rec.snapshots = std::move(ckpt.snapshots);
   lineage_head_ = rec.id;
   co_return std::move(rec);

@@ -95,6 +95,23 @@ class Session {
   /// mid-publish and the record can never complete.
   sim::Task<> abandon_staged();
 
+  /// Restart knobs beyond the selector.
+  struct RestartOptions {
+    /// Node shift for the rebuilt instances (fresh machines).
+    std::size_t node_offset = 0;
+    /// Drop the deployment's decoded-chunk caches first (§4.3.1's restart-
+    /// on-different-nodes semantics); leave false for FT rollbacks where
+    /// survivors keep serving peer copies.
+    bool cold_caches = false;
+    /// Elastic restart: target instance count M. 0 (or the record's own
+    /// tuple count) restarts 1:1 like today; any other value remaps the N
+    /// recorded tuples onto M fresh instances through the content-addressed
+    /// plane (see cr/remap.h — contiguous shards, attached volumes for
+    /// M < N, fresh checkpoint images for M > N clones). Rescaling a
+    /// qcow2-full record throws CrError.
+    std::size_t instances = 0;
+  };
+
   /// Tears the deployment down and restarts it from the selected Complete
   /// checkpoint on nodes shifted by `node_offset`. `cold_caches` drops the
   /// deployment's decoded-chunk caches first (§4.3.1's restart-on-different-
@@ -103,6 +120,13 @@ class Session {
   sim::Task<CheckpointRecord> restart(const Selector& sel,
                                       std::size_t node_offset,
                                       bool cold_caches = false);
+
+  /// Restart with explicit options — the elastic (N -> M) entry point. The
+  /// restart writes no new catalog state: the record restarted from stays
+  /// the lineage head, so the next checkpoint's `parent` still points at
+  /// the pre-rescale record (now with M tuples).
+  sim::Task<CheckpointRecord> restart(const Selector& sel,
+                                      const RestartOptions& opts);
 
   sim::Task<std::vector<CheckpointRecord>> list() { return catalog_.list(); }
 
@@ -138,6 +162,11 @@ class Session {
  private:
   sim::Task<> init_lineage();
   sim::Task<> mark_incomplete(CheckpointId id);
+  /// Elastic M > N on qcow2-disk: clone instances must not share their
+  /// source's snapshot container (both would commit into the same PVFS
+  /// file) — copy the container to a fresh path for every fresh_image
+  /// instance in the plan, rewriting its boot tuple in place.
+  sim::Task<> clone_qcow_containers(core::RestartPlan& plan);
 
   core::Deployment* dep_;
   Config cfg_;

@@ -6,6 +6,7 @@
 
 #include "blob/repair.h"
 #include "common/strutil.h"
+#include "cr/remap.h"
 #include "cr/session.h"
 #include "mpi/blcr.h"
 #include "mpi/coordinated.h"
@@ -51,7 +52,8 @@ struct JobShared {
     restore_ok.assign(n, true);
   }
 
-  const std::size_t n;
+  /// Current job width — mutable: elastic rescales change it mid-job.
+  std::size_t n;
 
   // --- per-epoch fields, reset by begin_epoch() ---
   std::size_t finished = 0;
@@ -80,6 +82,32 @@ struct JobShared {
     epoch_failures = 0;
     ckpt_phase_start = 0;
     worker_error = nullptr;
+  }
+
+  /// Adopts width `m` across an elastic restart: new instance i's boot
+  /// device holds source remap_source(i, n, m)'s committed state, so the
+  /// restore wave right after the rescale verifies against the remapped
+  /// digest line. (The forced checkpoint that follows re-records a fresh
+  /// m-tuple line, so the remap only ever serves that one wave.)
+  void rescale(std::size_t m) {
+    std::vector<std::uint64_t> remapped(m, 0);
+    for (std::size_t i = 0; i < m; ++i)
+      remapped[i] = committed_digests[cr::remap_source(i, n, m)];
+    committed_digests = std::move(remapped);
+    pending_digests.assign(m, 0);
+    restore_ok.assign(m, true);
+    n = m;
+  }
+
+  /// Plain width change with no digest mapping (a rollback restored a
+  /// record whose tuple count differs from the current width — the old
+  /// line's digests are unrecoverable after the lossy rescale remap, so
+  /// that restore wave skips verification).
+  void resize_unverified(std::size_t m) {
+    committed_digests.assign(m, 0);
+    pending_digests.assign(m, 0);
+    restore_ok.assign(m, true);
+    n = m;
   }
 };
 
@@ -214,7 +242,15 @@ Task<> injector_body(sim::Simulation* sim, std::shared_ptr<DepHolder> holder,
 
 Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
   sim::Simulation& sim = cloud->simulation();
-  const std::size_t n = cfg->instances;
+  std::size_t n = cfg->instances;  // current width; rescales change it
+  std::vector<FtJobConfig::RescaleEvent> rescales = cfg->rescales;
+  std::stable_sort(rescales.begin(), rescales.end(),
+                   [](const FtJobConfig::RescaleEvent& a,
+                      const FtJobConfig::RescaleEvent& b) {
+                     return a.after_checkpoints < b.after_checkpoints;
+                   });
+  std::size_t next_rescale = 0;
+  bool force_ckpt = false;  // zero-work epoch right after a rescale
   co_await cloud->provision_base_image();
 
   // Usage baseline after provisioning: the reported tenant_* counters cover
@@ -255,9 +291,9 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
   while (true) {
     Deployment& dep = *holder->dep;
     const sim::Duration epoch_work =
-        st->epoch == 0 ? 0
-                       : std::min(cfg->checkpoint_interval,
-                                  cfg->total_work - completed);
+        (st->epoch == 0 || force_ckpt)
+            ? 0
+            : std::min(cfg->checkpoint_interval, cfg->total_work - completed);
     st->begin_epoch();
     // Catalog head before the epoch: if it advances, the epoch leader
     // durably published this epoch's record — the checkpoint is complete
@@ -306,6 +342,7 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
       // driver only keeps its verification digests in step.
       completed += epoch_work;
       ++report->checkpoints;
+      force_ckpt = false;  // the post-rescale width has its record now
       st->committed_digests = st->pending_digests;
       if (st->ckpt_phase_start != 0)
         report->checkpoint_overhead += rec.end - st->ckpt_phase_start;
@@ -334,13 +371,24 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
         // §3.2: roll back to the last *complete* global checkpoint — the
         // catalog's selection, not a driver-held snapshot vector.
         (void)co_await session->restart(cr::Selector::latest(), shift);
+        // A failure in the tiny window between a rescale and its forced
+        // checkpoint rolls back to the pre-rescale record: the deployment
+        // snapped back to the old width, whose digest line is gone after
+        // the lossy remap — adopt the width and skip verification for
+        // this one restore wave.
+        const bool width_kept = dep.size() == n;
+        if (!width_kept) {
+          st->resize_unverified(dep.size());
+          n = dep.size();
+        }
         dep.mpi().reset_for_restart();
+        dep.mpi().resize_world(static_cast<int>(n));
         for (std::size_t i = 0; i < n; ++i) {
           EpochParams p;
           p.rank = i;
           p.epoch = st->epoch;
           p.state_bytes = cfg->state_bytes;
-          p.real_data = cfg->real_data;
+          p.real_data = cfg->real_data && width_kept;
           p.mode = cfg->mode;
           Deployment* dp = &dep;
           dep.vm(i).start_guest(
@@ -377,6 +425,52 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
       report->restart_overhead += sim.now() - t0 + cfg->detect_latency;
       if (rec.success) ++st->epoch;  // the failure hit after the commit
       continue;  // retry the interrupted work chunk
+    }
+
+    // Elastic rescale (shrink on spot reclaim / grow on queue drain): after
+    // the scheduled number of committed checkpoints, restart the job from
+    // the latest record onto M fresh instances through the catalog's
+    // elastic path, restore every new rank from its remapped shard, then
+    // force a zero-work checkpoint so the new width has its own rollback
+    // target.
+    if (next_rescale < rescales.size() &&
+        report->checkpoints >= rescales[next_rescale].after_checkpoints) {
+      const std::size_t m = rescales[next_rescale].instances;
+      ++next_rescale;
+      if (m != 0 && m != n) {
+        const sim::Time t0 = sim.now();
+        dep.destroy_all();
+        shift += n;  // fresh machines, like any restart
+        cr::Session::RestartOptions ropts;
+        ropts.node_offset = shift;
+        ropts.instances = m;
+        (void)co_await session->restart(cr::Selector::latest(), ropts);
+        dep.mpi().reset_for_restart();
+        dep.mpi().resize_world(static_cast<int>(m));
+        st->rescale(m);
+        n = m;
+        for (std::size_t i = 0; i < n; ++i) {
+          EpochParams p;
+          p.rank = i;
+          p.epoch = st->epoch;
+          p.state_bytes = cfg->state_bytes;
+          p.real_data = cfg->real_data;
+          p.mode = cfg->mode;
+          Deployment* dp = &dep;
+          dep.vm(i).start_guest(
+              common::strf("ft-rescale-r%zu", i),
+              [dp, p, st](vm::GuestProcess& gp) -> Task<> {
+                co_await restore_worker(dp, p, st, &gp);
+              });
+        }
+        for (std::size_t i = 0; i < n; ++i) co_await dep.vm(i).join_guests();
+        report->restart_repo_bytes += dep.boot_repo_bytes();
+        report->restart_peer_bytes += dep.boot_peer_bytes();
+        report->parity_bytes_rebuilt += dep.boot_parity_bytes();
+        ++report->rescales;
+        report->rescale_overhead += sim.now() - t0;
+        force_ckpt = true;
+      }
     }
 
     ++st->epoch;

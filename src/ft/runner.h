@@ -79,6 +79,18 @@ struct FtJobConfig {
   /// Catalog namespace for this job (cr::Session::Config::job). Empty keeps
   /// the single-job default catalog name.
   std::string job;
+  /// One scheduled elastic rescale: once `after_checkpoints` global
+  /// checkpoints have committed, the job restarts from the latest record
+  /// onto `instances` fresh instances (shrink on a spot reclaim, grow on a
+  /// queue drain) through cr::Session's elastic restart. The runner forces
+  /// an immediate zero-work checkpoint afterwards so the new width has its
+  /// own rollback target.
+  struct RescaleEvent {
+    std::size_t after_checkpoints = 0;
+    std::size_t instances = 0;
+  };
+  /// Scheduled rescales, applied in after_checkpoints order.
+  std::vector<RescaleEvent> rescales;
 };
 
 /// One epoch (work span between checkpoints) as the driver observed it.
@@ -110,6 +122,9 @@ struct FtReport {
   std::size_t checkpoints = 0;   // committed global checkpoints
   std::size_t failures = 0;      // injected failures that hit the job
   std::size_t restarts = 0;      // rollbacks performed
+  std::size_t rescales = 0;      // elastic N -> M restarts performed
+  /// Teardown + elastic restart + restore time across all rescales.
+  sim::Duration rescale_overhead = 0;
   std::size_t repair_copies = 0; // replica copies re-created by repair
   std::uint64_t repair_bytes = 0;
   std::uint64_t gc_reclaimed_bytes = 0;

@@ -66,6 +66,18 @@ class MpiWorld {
     coll_gens_.assign(coll_gens_.size(), 0);
   }
 
+  /// Rebuilds the world at exactly `n` ranks across an elastic (N -> M)
+  /// restart. set_size() only ever grows — register_rank must never shrink
+  /// the world under its peers — so a rescaled job needs this explicit
+  /// form: a shrink would otherwise leave collectives waiting on ranks
+  /// that no longer exist. Only call with no live rank processes.
+  void resize_world(int n) {
+    ranks_.clear();
+    ranks_.resize(static_cast<std::size_t>(n));
+    barrier_gens_.assign(static_cast<std::size_t>(n), 0);
+    coll_gens_.assign(static_cast<std::size_t>(n), 0);
+  }
+
   int size() const { return static_cast<int>(ranks_.size()); }
 
   class Comm {

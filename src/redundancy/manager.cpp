@@ -25,6 +25,9 @@ void Manager::detach_cache(const core::DecodedChunkCache* cache) {
     }
     for (std::uint64_t gid : doomed) drop_group(gid);
   }
+  // nodes_ shrank under the round-robin cursor: renormalize so holder
+  // picking keeps cycling evenly instead of skipping the front nodes.
+  holder_rr_ = nodes_.empty() ? 0 : holder_rr_ % nodes_.size();
 }
 
 void Manager::drop_node(net::NodeId node) {
@@ -32,7 +35,26 @@ void Manager::drop_node(net::NodeId node) {
   for (std::uint64_t gid : open_) {
     if (group_has_node(groups_.at(gid), node)) doomed.push_back(gid);
   }
+  // A sealed group whose parity *holder* died lost its parity blocks with
+  // the node's cache: nothing is rebuildable through it anymore, so it must
+  // stop counting as durable (and its surviving blocks on other holders
+  // must not linger as orphans). Sealed groups where the node is only a
+  // member stay — rebuilding those is what the tier is for.
+  for (const auto& [gid, g] : groups_) {
+    if (!g.sealed) continue;
+    if (std::find(g.holders.begin(), g.holders.end(), node) !=
+        g.holders.end()) {
+      doomed.push_back(gid);
+    }
+  }
+  std::sort(doomed.begin(), doomed.end());
+  doomed.erase(std::unique(doomed.begin(), doomed.end()), doomed.end());
   for (std::uint64_t gid : doomed) drop_group(gid);
+  // The dead node leaves the tier — new groups must not pick it as a member
+  // or holder — until a replacement instance re-attaches its (cold) cache.
+  caches_.erase(node);
+  std::erase(nodes_, node);
+  holder_rr_ = nodes_.empty() ? 0 : holder_rr_ % nodes_.size();
 }
 
 void Manager::drop_all() {
@@ -139,6 +161,7 @@ void Manager::seal(Group& g) {
   std::uint64_t max_size = 0;
   for (const Member& m : g.members)
     max_size = std::max<std::uint64_t>(max_size, m.size);
+  g.parity_block_size = max_size;
   for (std::size_t pi = 0; pi < g.holders.size(); ++pi) {
     // Block 0 is the XOR; extra blocks are modeled Reed-Solomon Q blocks
     // (size-only — bitwise recovery stays the XOR single-erasure case).
@@ -286,12 +309,13 @@ void Manager::drop_group(std::uint64_t gid) {
   if (g.sealed) {
     for (std::size_t pi = 0; pi < g.holders.size(); ++pi) {
       if (core::DecodedChunkCache* c = cache_for(g.holders[pi])) {
-        const core::ChunkKey pk = parity_key(gid, pi);
-        if (const common::Buffer* hit = c->get(pk)) {
-          stats_.parity_bytes -= hit->size();
-          c->erase(pk);
-        }
+        c->erase(parity_key(gid, pi));
       }
+      // Account every sealed block, resident or not: a block that died with
+      // its holder (or was evicted) must not keep counting as durable
+      // parity bytes forever.
+      stats_.parity_bytes -=
+          std::min<std::uint64_t>(stats_.parity_bytes, g.parity_block_size);
       if (stats_.parity_blocks > 0) --stats_.parity_blocks;
     }
   }

@@ -99,8 +99,13 @@ class Manager {
   /// node's payloads missing at rebuild time.
   void detach_cache(const core::DecodedChunkCache* cache);
   /// Fail-stop: the node's cache contents are gone (cleared by the caller).
-  /// Open groups touching the node are dropped; sealed groups are kept —
-  /// rebuilding the dead node's members is exactly what the tier is for.
+  /// Open groups touching the node are dropped. Sealed groups where the
+  /// node is a *member* are kept — rebuilding the dead node's members is
+  /// exactly what the tier is for. Sealed groups where the node is a parity
+  /// *holder* lost their parity blocks with the cache and are invalidated
+  /// (they can no longer rebuild anything; counting their parity bytes as
+  /// durable would be a lie). The node itself leaves the tier until a
+  /// replacement instance re-attaches.
   void drop_node(net::NodeId node);
   /// Cold restart / repository-outage drill: every cache was cleared, so
   /// every group's payloads and parity blocks are gone. Drops all state.
@@ -187,6 +192,9 @@ class Manager {
     std::vector<Member> members;
     std::vector<net::NodeId> holders;  // parity holder nodes (size m)
     common::Buffer accum;              // running XOR (block 0)
+    /// Sealed-block size (stats_ accounting stays honest when a block is
+    /// evicted or dies with its holder before the group is dropped).
+    std::uint64_t parity_block_size = 0;
   };
 
   core::DecodedChunkCache* cache_for(net::NodeId node) const;

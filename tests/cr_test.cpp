@@ -7,7 +7,9 @@
 // kept rollback target.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -336,6 +338,342 @@ TEST(CrRetentionTest, KeepLastReclaimsUntaggedAndPreservesTagged) {
   EXPECT_EQ(complete_count, 2u);
   EXPECT_EQ(retired_count, 2u);
   EXPECT_TRUE(golden_ok);
+}
+
+// ---------------------------------------------------------------------------
+// Elastic (N -> M) restart: the catalog's N snapshot tuples come back as M
+// instances through the content-addressed plane. The acceptance property is
+// bit-exactness of the UNION of device images across the remap — every
+// source's state lands on exactly one new shard (boot device or attached
+// volume) — plus the catalog invariants: no new record, lineage preserved,
+// and the next checkpoint records M tuples.
+// ---------------------------------------------------------------------------
+
+Task<bool> attached_matches(Deployment* dep, std::size_t i, std::size_t k,
+                            std::uint64_t seed) {
+  const auto fs =
+      co_await guestfs::SimpleFs::mount(dep->attached_volume(i, k).device());
+  const Buffer state = co_await fs->read_file("/data/state.bin");
+  co_return state == Buffer::pattern(300'000, seed);
+}
+
+TEST(CrElasticTest, ShrinkRestartUnionBitExactColdCaches) {
+  Cloud cloud(tiny_cfg(Backend::BlobCR));
+  bool union_ok = false;
+  std::size_t records_before = 0, records_after = 0;
+  std::size_t post_tuples = 0;
+  CheckpointId pre_id = 0, post_parent = 0;
+
+  cloud.run([](Cloud* cl, bool* union_ok, std::size_t* rec_before,
+               std::size_t* rec_after, std::size_t* post_tuples,
+               CheckpointId* pre_id, CheckpointId* post_parent) -> Task<> {
+    co_await cl->provision_base_image();
+    Deployment dep(*cl, 4);
+    Session session(dep);
+    co_await dep.deploy_and_boot();
+    for (std::size_t i = 0; i < 4; ++i)
+      co_await write_state(&dep.vm(i), 10 + i);
+    const CheckpointRecord pre = co_await session.checkpoint("pre-rescale");
+    *pre_id = pre.id;
+    *rec_before = (co_await session.list()).size();
+
+    // Shrink 4 -> 2 on fresh nodes with cold caches: every byte comes back
+    // through the repository, remapped as two contiguous shards.
+    dep.destroy_all();
+    Session::RestartOptions opts;
+    opts.node_offset = 4;
+    opts.cold_caches = true;
+    opts.instances = 2;
+    const CheckpointRecord rec =
+        co_await session.restart(Selector::latest(), opts);
+    EXPECT_EQ(rec.id, pre.id);
+    EXPECT_EQ(dep.size(), 2u);
+    EXPECT_EQ(dep.attached_count(0), 1u);
+    EXPECT_EQ(dep.attached_count(1), 1u);
+    // Shards: instance 0 boots source 0 and attaches source 1; instance 1
+    // boots source 2 and attaches source 3.
+    *union_ok = (co_await state_matches(&dep.vm(0), 10)) &&
+                (co_await attached_matches(&dep, 0, 0, 11)) &&
+                (co_await state_matches(&dep.vm(1), 12)) &&
+                (co_await attached_matches(&dep, 1, 0, 13));
+    // The rescale wrote no new catalog state and kept the lineage head.
+    *rec_after = (co_await session.list()).size();
+    EXPECT_EQ(session.lineage_head(), pre.id);
+
+    // The next checkpoint from the 2-instance deployment records 2 tuples,
+    // descending from the pre-rescale record.
+    co_await write_state(&dep.vm(0), 20);
+    co_await write_state(&dep.vm(1), 21);
+    const CheckpointRecord post = co_await session.checkpoint("post-rescale");
+    *post_tuples = post.snapshots.size();
+    *post_parent = post.parent;
+  }(&cloud, &union_ok, &records_before, &records_after, &post_tuples,
+    &pre_id, &post_parent));
+
+  EXPECT_TRUE(union_ok);
+  EXPECT_EQ(records_after, records_before);
+  EXPECT_EQ(post_tuples, 2u);
+  EXPECT_EQ(post_parent, pre_id);
+}
+
+TEST(CrElasticTest, GrowRestartClonesDeriveFreshImagesWarmCaches) {
+  Cloud cloud(tiny_cfg(Backend::BlobCR));
+  bool union_ok = false;
+  std::size_t post_tuples = 0;
+  bool images_distinct = false;
+  CheckpointId pre_id = 0, post_parent = 0;
+
+  cloud.run([](Cloud* cl, bool* union_ok, std::size_t* post_tuples,
+               bool* images_distinct, CheckpointId* pre_id,
+               CheckpointId* post_parent) -> Task<> {
+    co_await cl->provision_base_image();
+    Deployment dep(*cl, 2);
+    Session session(dep);
+    co_await dep.deploy_and_boot();
+    co_await write_state(&dep.vm(0), 30);
+    co_await write_state(&dep.vm(1), 31);
+    const CheckpointRecord pre = co_await session.checkpoint("pre-rescale");
+    *pre_id = pre.id;
+
+    // Grow 2 -> 4, warm caches: sources 0 and 1 each feed two instances.
+    dep.destroy_all();
+    Session::RestartOptions opts;
+    opts.node_offset = 2;
+    opts.instances = 4;
+    (void)co_await session.restart(Selector::latest(), opts);
+    EXPECT_EQ(dep.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_EQ(dep.attached_count(i), 0u);
+    *union_ok = (co_await state_matches(&dep.vm(0), 30)) &&
+                (co_await state_matches(&dep.vm(1), 30)) &&
+                (co_await state_matches(&dep.vm(2), 31)) &&
+                (co_await state_matches(&dep.vm(3), 31));
+
+    // A checkpoint from the grown deployment records 4 tuples, and no two
+    // instances committed into the same checkpoint image (the clones
+    // derived fresh ones).
+    for (std::size_t i = 0; i < 4; ++i)
+      co_await write_state(&dep.vm(i), 40 + i);
+    const CheckpointRecord post = co_await session.checkpoint("post-rescale");
+    *post_tuples = post.snapshots.size();
+    *post_parent = post.parent;
+    std::vector<blob::BlobId> images;
+    for (const core::InstanceSnapshot& s : post.snapshots) {
+      if (s.image != 0) images.push_back(s.image);
+    }
+    std::sort(images.begin(), images.end());
+    *images_distinct =
+        images.size() == 4 &&
+        std::adjacent_find(images.begin(), images.end()) == images.end();
+  }(&cloud, &union_ok, &post_tuples, &images_distinct, &pre_id,
+    &post_parent));
+
+  EXPECT_TRUE(union_ok);
+  EXPECT_EQ(post_tuples, 4u);
+  EXPECT_TRUE(images_distinct);
+  EXPECT_EQ(post_parent, pre_id);
+}
+
+TEST(CrElasticTest, EqualCountDegeneratesToClassicRestart) {
+  Cloud cloud(tiny_cfg(Backend::BlobCR));
+  bool ok = false;
+
+  cloud.run([](Cloud* cl, bool* ok) -> Task<> {
+    co_await cl->provision_base_image();
+    Deployment dep(*cl, 2);
+    Session session(dep);
+    co_await dep.deploy_and_boot();
+    co_await write_state(&dep.vm(0), 50);
+    co_await write_state(&dep.vm(1), 51);
+    (void)co_await session.checkpoint();
+    dep.destroy_all();
+    Session::RestartOptions opts;
+    opts.node_offset = 2;
+    opts.cold_caches = true;
+    opts.instances = 2;  // M == N: today's 1:1 path
+    (void)co_await session.restart(Selector::latest(), opts);
+    EXPECT_EQ(dep.size(), 2u);
+    EXPECT_EQ(dep.attached_count(0), 0u);
+    EXPECT_EQ(dep.attached_count(1), 0u);
+    *ok = (co_await state_matches(&dep.vm(0), 50)) &&
+          (co_await state_matches(&dep.vm(1), 51));
+  }(&cloud, &ok));
+
+  EXPECT_TRUE(ok);
+}
+
+// The same union property on the qcow2-disk baseline: attached volumes open
+// the source's snapshot container straight off PVFS, and grow clones copy
+// the container to a fresh file so no two instances commit into one.
+TEST(CrElasticTest, QcowDiskShrinkAndGrowUnionBitExact) {
+  Cloud cloud(tiny_cfg(Backend::Qcow2Disk));
+  bool shrink_ok = false, grow_ok = false;
+  bool paths_distinct = false;
+
+  cloud.run([](Cloud* cl, bool* shrink_ok, bool* grow_ok,
+               bool* paths_distinct) -> Task<> {
+    co_await cl->provision_base_image();
+    Deployment dep(*cl, 3);
+    Session session(dep);
+    co_await dep.deploy_and_boot();
+    for (std::size_t i = 0; i < 3; ++i)
+      co_await write_state(&dep.vm(i), 60 + i);
+    (void)co_await session.checkpoint("pre");
+
+    // Shrink 3 -> 2: instance 0 boots source 0; instance 1 boots source 1
+    // and attaches source 2.
+    dep.destroy_all();
+    Session::RestartOptions shrink;
+    shrink.node_offset = 3;
+    shrink.instances = 2;
+    (void)co_await session.restart(Selector::latest(), shrink);
+    EXPECT_EQ(dep.size(), 2u);
+    EXPECT_EQ(dep.attached_count(1), 1u);
+    *shrink_ok = (co_await state_matches(&dep.vm(0), 60)) &&
+                 (co_await state_matches(&dep.vm(1), 61)) &&
+                 (co_await attached_matches(&dep, 1, 0, 62));
+
+    // Grow back 3 -> 4 from the same record: source 0 feeds instances 0
+    // and 1 (the clone gets a fresh container copy).
+    dep.destroy_all();
+    Session::RestartOptions grow;
+    grow.node_offset = 0;
+    grow.instances = 4;
+    (void)co_await session.restart(Selector::latest(), grow);
+    EXPECT_EQ(dep.size(), 4u);
+    *grow_ok = (co_await state_matches(&dep.vm(0), 60)) &&
+               (co_await state_matches(&dep.vm(1), 60)) &&
+               (co_await state_matches(&dep.vm(2), 61)) &&
+               (co_await state_matches(&dep.vm(3), 62));
+
+    // Distinct containers: a new checkpoint from the grown deployment
+    // writes 4 tuples with 4 distinct snapshot files.
+    for (std::size_t i = 0; i < 4; ++i)
+      co_await write_state(&dep.vm(i), 70 + i);
+    const CheckpointRecord post = co_await session.checkpoint("post");
+    std::vector<std::string> paths;
+    for (const core::InstanceSnapshot& s : post.snapshots)
+      paths.push_back(s.pvfs_path);
+    std::sort(paths.begin(), paths.end());
+    *paths_distinct =
+        paths.size() == 4 && !paths[0].empty() &&
+        std::adjacent_find(paths.begin(), paths.end()) == paths.end();
+  }(&cloud, &shrink_ok, &grow_ok, &paths_distinct));
+
+  EXPECT_TRUE(shrink_ok);
+  EXPECT_TRUE(grow_ok);
+  EXPECT_TRUE(paths_distinct);
+}
+
+// Growing past the compute pool trips the same placement validation the
+// Deployment constructor enforces: M instances need M distinct nodes.
+TEST(CrElasticTest, GrowBeyondComputePoolRefused) {
+  Cloud cloud(tiny_cfg(Backend::BlobCR));  // 6 compute nodes
+  bool threw = false;
+
+  cloud.run([](Cloud* cl, bool* threw) -> Task<> {
+    co_await cl->provision_base_image();
+    Deployment dep(*cl, 2);
+    Session session(dep);
+    co_await dep.deploy_and_boot();
+    co_await write_state(&dep.vm(0), 1);
+    co_await write_state(&dep.vm(1), 2);
+    (void)co_await session.checkpoint();
+    Session::RestartOptions opts;
+    opts.instances = 7;
+    try {
+      (void)co_await session.restart(Selector::latest(), opts);
+    } catch (const std::invalid_argument&) {
+      *threw = true;
+    }
+  }(&cloud, &threw));
+
+  EXPECT_TRUE(threw);
+}
+
+// qcow2-full resumes full VM state (rank count baked in): rescaling is
+// refused before the running deployment is torn down.
+TEST(CrElasticTest, QcowFullRescaleRefusedWithoutTeardown) {
+  Cloud cloud(tiny_cfg(Backend::Qcow2Full));
+  bool threw = false, still_ok = false;
+
+  cloud.run([](Cloud* cl, bool* threw, bool* still_ok) -> Task<> {
+    co_await cl->provision_base_image();
+    Deployment dep(*cl, 2);
+    Session session(dep);
+    co_await dep.deploy_and_boot();
+    co_await write_state(&dep.vm(0), 80);
+    co_await write_state(&dep.vm(1), 81);
+    (void)co_await session.checkpoint();
+    Session::RestartOptions opts;
+    opts.instances = 1;
+    try {
+      (void)co_await session.restart(Selector::latest(), opts);
+    } catch (const CrError&) {
+      *threw = true;
+    }
+    // The refusal happened before teardown: the deployment still runs and
+    // its state is intact.
+    *still_ok = (co_await state_matches(&dep.vm(0), 80)) &&
+                (co_await state_matches(&dep.vm(1), 81));
+  }(&cloud, &threw, &still_ok));
+
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(still_ok);
+}
+
+// ---------------------------------------------------------------------------
+// Session::restart exception safety: a boot failure mid-restart (injected
+// through the deployment's restart probe, crash-harness style) must leave
+// the record's tuples intact and the lineage head untouched, so a retry
+// from the very same record succeeds bit-exactly.
+// ---------------------------------------------------------------------------
+
+TEST(CrElasticTest, RestartBootFailureLeavesRecordRetryable) {
+  Cloud cloud(tiny_cfg(Backend::BlobCR));
+  bool threw = false, retried_ok = false;
+  std::size_t tuples_after_failure = 0;
+
+  cloud.run([](Cloud* cl, bool* threw, bool* retried_ok,
+               std::size_t* tuples) -> Task<> {
+    co_await cl->provision_base_image();
+    Deployment dep(*cl, 2);
+    Session session(dep);
+    co_await dep.deploy_and_boot();
+    co_await write_state(&dep.vm(0), 90);
+    co_await write_state(&dep.vm(1), 91);
+    const CheckpointRecord pre = co_await session.checkpoint("target");
+    const CheckpointId head_before = session.lineage_head();
+
+    dep.destroy_all();
+    bool armed = true;
+    dep.set_restart_probe([&armed](std::size_t) {
+      if (armed) {
+        armed = false;
+        throw std::runtime_error("injected mid-restart boot failure");
+      }
+    });
+    try {
+      (void)co_await session.restart(Selector::latest(), 2);
+    } catch (const std::runtime_error&) {
+      *threw = true;
+    }
+    EXPECT_EQ(session.lineage_head(), head_before);
+    // The catalog record kept its snapshot line through the failure.
+    for (const CheckpointRecord& r : co_await session.list()) {
+      if (r.id == pre.id) *tuples = r.snapshots.size();
+    }
+
+    // Retry from the same record (probe now disarmed): bit-exact restore.
+    (void)co_await session.restart(Selector::latest(), 4);
+    *retried_ok = (co_await state_matches(&dep.vm(0), 90)) &&
+                  (co_await state_matches(&dep.vm(1), 91));
+    EXPECT_EQ(session.lineage_head(), pre.id);
+  }(&cloud, &threw, &retried_ok, &tuples_after_failure));
+
+  EXPECT_TRUE(threw) << "injected boot failure never surfaced";
+  EXPECT_EQ(tuples_after_failure, 2u);
+  EXPECT_TRUE(retried_ok);
 }
 
 TEST(CrRetentionTest, QcowDiskRetentionRemovesRetiredSnapshotCopies) {

@@ -583,6 +583,91 @@ TEST(RedundancyManagerTest, XorRebuildReconstructsLostMemberBitExact) {
   EXPECT_GE(mgr.stats().groups_dropped, 1u);
 }
 
+// Regression: a sealed group whose parity *holder* fail-stops used to keep
+// counting as durable — protects() said yes, stats_ kept the parity bytes,
+// and a member rebuild would try to read parity from a dead node's cache.
+// The holder's death must invalidate the group so member fetches fall
+// through to the repository tier.
+TEST(RedundancyManagerTest, DeadParityHolderInvalidatesSealedGroup) {
+  Simulation s;
+  net::Fabric::Config fcfg;
+  fcfg.node_count = 4;
+  fcfg.nic_bandwidth_bps = 1e9;
+  fcfg.latency = 50 * sim::kMicrosecond;
+  net::Fabric fabric(s, fcfg);
+  redundancy::RedundancyConfig rcfg;
+  rcfg.enabled = true;
+  rcfg.group_size = 3;
+  rcfg.parity_blocks = 1;
+  redundancy::Manager mgr(s, fabric, rcfg, {});
+  core::DecodedChunkCache c0(1 << 22), c1(1 << 22), c2(1 << 22), c3(1 << 22);
+  mgr.attach(0, &c0);
+  mgr.attach(1, &c1);
+  mgr.attach(2, &c2);
+  mgr.attach(3, &c3);
+
+  const Buffer a = Buffer::pattern(kChunk, 44);
+  const Buffer b = Buffer::pattern(kChunk, 55);
+  const Buffer c = Buffer::pattern(kChunk, 66);
+  const auto key = [](blob::ChunkId id) { return core::ChunkKey{id, 0}; };
+  const auto run = [&s](Task<> t) {
+    auto p = s.spawn("t", std::move(t));
+    s.run();
+    if (p->error()) std::rethrow_exception(p->error());
+  };
+  const auto one = [&key](blob::ChunkId id, const Buffer& data) {
+    std::vector<redundancy::Manager::ChunkPayload> v;
+    v.push_back(redundancy::Manager::ChunkPayload{key(id), id, data});
+    return v;
+  };
+  run([&]() -> Task<> {
+    co_await mgr.encode_commit(0, one(201, a));
+    co_await mgr.encode_commit(2, one(202, b));
+    co_await mgr.encode_commit(3, one(203, c));
+  }());
+  ASSERT_EQ(mgr.stats().groups_sealed, 1u);
+  const auto gid = mgr.group_of(key(202));
+  ASSERT_TRUE(gid.has_value());
+  const std::vector<net::NodeId> holders = mgr.holders_of(*gid);
+  ASSERT_EQ(holders.size(), 1u);
+  const net::NodeId holder = holders[0];
+  ASSERT_GT(mgr.stats().parity_bytes, 0u);
+
+  // The holder fail-stops: cache contents gone, node leaves the tier.
+  (holder == 0 ? c0 : holder == 1 ? c1 : holder == 2 ? c2 : c3).clear();
+  mgr.drop_node(holder);
+
+  // The group is unrecoverable and must stop counting as durable.
+  EXPECT_FALSE(mgr.protects(key(202)));
+  EXPECT_EQ(mgr.stats().parity_blocks, 0u);
+  EXPECT_EQ(mgr.stats().parity_bytes, 0u);
+  EXPECT_EQ(mgr.resident_parity_blocks(), 0u);
+
+  // A member rebuild falls through (nullopt) — the caller drops to the
+  // repository tier — instead of pretending the dead holder's parity is
+  // reachable. Surviving *resident* member copies keep serving: they never
+  // depended on the holder.
+  std::optional<Buffer> rebuilt;
+  run([&]() -> Task<> { rebuilt = co_await mgr.rebuild(key(202), 3); }());
+  EXPECT_FALSE(rebuilt.has_value());
+  std::optional<Buffer> fetched;
+  run([&]() -> Task<> {
+    fetched = co_await mgr.fetch_resident(key(202), 3);
+  }());
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_TRUE(*fetched == b);
+
+  // Survivor commits keep working after the round-robin shrank: a fresh
+  // line seals into a new group held by a live node.
+  run([&]() -> Task<> {
+    co_await mgr.encode_commit(0, one(301, a));
+    co_await mgr.encode_commit(2, one(302, b));
+    co_await mgr.encode_commit(3, one(303, c));
+  }());
+  EXPECT_EQ(mgr.stats().groups_sealed, 2u);
+  EXPECT_TRUE(mgr.protects(key(302)));
+}
+
 TEST(FlushParityTest, KillAtParityEncodeRestoresBitExactWithNoOrphanedParity) {
   FlushRig rig;
   redundancy::RedundancyConfig rcfg;

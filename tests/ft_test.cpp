@@ -288,6 +288,40 @@ TEST(FtRunnerTest, FailureFreeMakespanDecomposes) {
   EXPECT_LE(rep.efficiency(), 1.0);
 }
 
+TEST(FtRunnerTest, ShrinkRescaleCompletesVerified) {
+  // Spot reclaim: after two committed checkpoints the job gives back half
+  // its instances and continues at the new width from the latest record.
+  Cloud cloud(tiny_cfg(Backend::BlobCR));
+  FtJobConfig job = small_job();
+  job.instances = 4;
+  job.rescales = {{2, 2}};
+  const FtReport rep = run_ft_job(cloud, job);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.verified);
+  EXPECT_EQ(rep.rescales, 1u);
+  EXPECT_GT(rep.rescale_overhead, 0);
+  EXPECT_EQ(rep.failures, 0u);
+  EXPECT_EQ(rep.useful_work, job.total_work);
+}
+
+TEST(FtRunnerTest, GrowRescaleSurvivesLaterFailure) {
+  // Queue drain: grow 2 -> 4 mid-run, then lose one of the *new* ranks.
+  // The rollback target is the forced post-rescale checkpoint, so the job
+  // restarts at the grown width and still completes verified.
+  Cloud cloud(tiny_cfg(Backend::BlobCR));
+  FtJobConfig job = small_job();
+  job.instances = 2;
+  job.rescales = {{2, 4}};
+  job.failures = FailureSchedule::fixed({{70 * sim::kSecond, 3}});
+  const FtReport rep = run_ft_job(cloud, job);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.verified);
+  EXPECT_EQ(rep.rescales, 1u);
+  EXPECT_EQ(rep.failures, 1u);
+  EXPECT_EQ(rep.restarts, 1u);
+  EXPECT_EQ(rep.useful_work, job.total_work);
+}
+
 TEST(FtRunnerTest, MidRunFailureRollsBackAndCompletes) {
   Cloud cloud(tiny_cfg(Backend::BlobCR));
   FtJobConfig job = small_job();

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -244,6 +245,17 @@ TEST(DeploymentTest, BootFetchesOnlyHotContent) {
 
   EXPECT_GT(fetched, 0u);
   EXPECT_LT(fetched, image);  // per-instance average is well under the image
+}
+
+TEST(DeploymentTest, PlacementRefusesMoreInstancesThanComputeNodes) {
+  // Regression: compute_node() used to wrap `i % compute_nodes`, silently
+  // co-locating two instances on one node — a single node failure would
+  // take out two "independent" ranks and their caches. Oversubscription is
+  // now refused at construction; a full-width deployment still places.
+  Cloud cloud(tiny_cfg(Backend::BlobCR));  // 4 compute nodes
+  EXPECT_THROW(Deployment(cloud, 5), std::invalid_argument);
+  const Deployment dep(cloud, 4);
+  EXPECT_EQ(dep.size(), 4u);
 }
 
 TEST(DeploymentTest, SnapshotMappingIsRecorded) {
