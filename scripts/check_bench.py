@@ -12,11 +12,22 @@ Both sides are *simulated* results, so run-to-run noise is zero for an
 unchanged binary; the tolerance band only absorbs intentional modeling
 churn between PRs. Regressions are one-sided: getting faster / fetching
 fewer repository bytes never fails the gate (but refresh the baselines so
-the improvement is locked in).
+the improvement is locked in). Throughput-style counters gate the other
+way (HIGHER_IS_BETTER): dropping below (1 - tolerance) x baseline fails,
+gaining never does.
+
+A counter present in a baseline row but absent from the fresh row is an
+ERROR, not a skip: the bench silently stopped emitting a gated metric,
+which would otherwise drop it from coverage forever. Remove it from the
+committed baseline deliberately when retiring a counter.
+
+When $GITHUB_STEP_SUMMARY is set (or --summary FILE is given) a per-counter
+markdown delta table — current vs baseline, allowed band, verdict — is
+appended there for the Actions run page.
 
 Usage:
   check_bench.py --fresh DIR [--baseline bench-results] [--tolerance 0.25]
-                 [--file BENCH_foo.json ...]
+                 [--file BENCH_foo.json ...] [--summary FILE]
 
 Exit status: 0 = no regressions, 1 = regression or missing inputs.
 """
@@ -49,6 +60,18 @@ GATED_COUNTERS = {
     # (repo_mb_per_inst above also gates the rescale's repository pull, and
     # `verified` covers the union digest check + M-tuple catalog invariant.)
     "rescale_restart_s": ("elastic rescale restart makespan [s]", 0.05),
+    # Sharded metadata plane: per-tenant commit completion under tenant
+    # scale. (`verified` covers the sharded-vs-single p95 and throughput
+    # inequalities plus bit-exact sampled restores.)
+    "commit_p95_s": ("p95 commit completion [s]", 0.02),
+}
+# Throughput-style metrics gate one-sided the OTHER way: the fresh value
+# must not drop below (1 - tolerance) x baseline - slack. Getting faster
+# never fails.
+HIGHER_IS_BETTER = {
+    # Sharded metadata plane: digest-index lookups served per second of
+    # repository makespan.
+    "index_lookups_per_s": ("index lookup throughput [1/s]", 100.0),
 }
 # Default file set: the restart- and commit-path benches the gate protects.
 DEFAULT_FILES = [
@@ -60,6 +83,7 @@ DEFAULT_FILES = [
     "BENCH_ablation_multitenant.json",
     "BENCH_ablation_redundancy.json",
     "BENCH_ablation_elastic.json",
+    "BENCH_ablation_shard_sweep.json",
 ]
 
 
@@ -72,11 +96,34 @@ def load_benchmarks(path):
         if b.get("run_type") == "aggregate":
             continue
         metrics = {}
-        for key in list(GATED_COUNTERS) + ["verified", "real_time"]:
+        keys = list(GATED_COUNTERS) + list(HIGHER_IS_BETTER)
+        for key in keys + ["verified", "real_time"]:
             if key in b:
                 metrics[key] = float(b[key])
         out[b["name"]] = metrics
     return out
+
+
+def format_summary(rows):
+    """Markdown delta table for $GITHUB_STEP_SUMMARY."""
+    lines = [
+        "### Bench regression gate",
+        "",
+        "| file | benchmark | counter | baseline | current | delta | "
+        "allowed | verdict |",
+        "|---|---|---|---:|---:|---:|---:|---|",
+    ]
+    for fname, name, label, b, f, limit, ok in rows:
+        missing = f != f  # NaN: counter vanished from the fresh run
+        cur = "—" if missing else f"{f:.4g}"
+        delta = ("—" if missing or b == 0
+                 else f"{(f - b) / b * 100.0:+.1f}%")
+        verdict = "ok" if ok else "**FAIL**"
+        lines.append(
+            f"| {fname} | {name} | {label} | {b:.4g} | {cur} | {delta} | "
+            f"{limit} | {verdict} |")
+    lines.append("")
+    return "\n".join(lines)
 
 
 def main(argv=None):
@@ -90,11 +137,15 @@ def main(argv=None):
     ap.add_argument("--file", action="append", default=None,
                     help="gate only these files (repeatable); default: "
                          + ", ".join(DEFAULT_FILES))
+    ap.add_argument("--summary", default=None,
+                    help="append a markdown delta table to this file "
+                         "(defaults to $GITHUB_STEP_SUMMARY when set)")
     args = ap.parse_args(argv)
 
     files = args.file if args.file else DEFAULT_FILES
     regressions = []
     notes = []
+    rows = []  # (file, bench, counter label, base, fresh, band, ok)
     compared = 0
     baseline_points = 0
 
@@ -126,17 +177,51 @@ def main(argv=None):
                 regressions.append(
                     f"{name}: restored-image verification FAILED "
                     f"(verified {fmetrics.get('verified')})")
-            for key, (label, slack) in GATED_COUNTERS.items():
-                if key not in bmetrics or key not in fmetrics:
+            if "verified" in bmetrics and "verified" in fmetrics:
+                rows.append((fname, name, "verified", bmetrics["verified"],
+                             fmetrics["verified"], ">= baseline",
+                             not (bmetrics["verified"] >= 1.0 >
+                                  fmetrics["verified"])))
+            both = {**GATED_COUNTERS, **HIGHER_IS_BETTER}
+            for key, (label, slack) in both.items():
+                if key not in bmetrics:
+                    continue
+                if key not in fmetrics:
+                    # The bench stopped emitting a gated counter: failing
+                    # loudly beats silently shrinking the gate's coverage.
+                    regressions.append(
+                        f"{name}: counter '{key}' present in baseline but "
+                        f"missing from the fresh run — retire it from the "
+                        f"committed baseline if that is intentional")
+                    rows.append((fname, name, label, bmetrics[key],
+                                 float("nan"), "missing", False))
                     continue
                 b, f = bmetrics[key], fmetrics[key]
-                limit = b * (1.0 + args.tolerance) + slack
-                if f > limit:
-                    regressions.append(
-                        f"{name}: {label} regressed "
-                        f"{b:.3f} -> {f:.3f} (limit {limit:.3f})")
+                if key in HIGHER_IS_BETTER:
+                    limit = b * (1.0 - args.tolerance) - slack
+                    ok = f >= limit
+                    if not ok:
+                        regressions.append(
+                            f"{name}: {label} dropped "
+                            f"{b:.3f} -> {f:.3f} (floor {limit:.3f})")
+                    rows.append((fname, name, label, b, f,
+                                 f">= {limit:.4g}", ok))
+                else:
+                    limit = b * (1.0 + args.tolerance) + slack
+                    ok = f <= limit
+                    if not ok:
+                        regressions.append(
+                            f"{name}: {label} regressed "
+                            f"{b:.3f} -> {f:.3f} (limit {limit:.3f})")
+                    rows.append((fname, name, label, b, f,
+                                 f"<= {limit:.4g}", ok))
         for name in sorted(set(fresh) - set(base)):
             notes.append(f"{name}: new benchmark, no baseline yet")
+
+    summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path and rows:
+        with open(summary_path, "a") as sf:
+            sf.write(format_summary(rows) + "\n")
 
     for n in notes:
         print(f"note: {n}")

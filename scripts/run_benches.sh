@@ -4,9 +4,11 @@
 # so the perf trajectory accumulates across PRs.
 #
 # The expected set is enumerated from bench/*.cpp (adding a new bench is
-# picked up automatically — no hardcoded list), and a source whose binary is
-# missing from the build directory fails the run: a silent skip would
-# quietly drop that figure from the regression gate's coverage.
+# picked up automatically — no hardcoded list). Before ANY bench runs, the
+# full expected set is pre-scanned and the run fails fast with the complete
+# list of missing binaries: a silent skip would quietly drop figures from
+# the regression gate's coverage, and failing on the first one would hide
+# the rest of the list behind repeated runs.
 #
 # Env:
 #   BLOBCR_BENCH_FAST  1 (default) = reduced sweeps (CI smoke);
@@ -26,22 +28,36 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 mkdir -p "$OUT_DIR"
-status=0
-found=0
-# Every bench/*.cpp translation unit is an expected binary: a missing one
-# (benchmark library absent, target dropped from the build) is an error,
-# not a silent skip — otherwise the regression gate quietly loses coverage.
+
+# Pre-scan: every bench/*.cpp translation unit is an expected binary. A
+# missing one (benchmark library absent, target dropped from the build) is
+# an error — collect the COMPLETE list and fail before running anything, so
+# one CI round surfaces every gap at once.
+names=()
+missing=()
 for src in bench/*.cpp; do
   name="$(basename "$src" .cpp)"
   if [ -n "$BENCH_FILTER" ] && ! echo "$name" | grep -Eq "$BENCH_FILTER"; then
     continue
   fi
-  bin="$BUILD_DIR/$name"
-  if [ ! -f "$bin" ] || [ ! -x "$bin" ]; then
-    echo "MISSING bench binary: $bin (expected from $src)" >&2
-    status=1
-    continue
+  if [ ! -f "$BUILD_DIR/$name" ] || [ ! -x "$BUILD_DIR/$name" ]; then
+    missing+=("$BUILD_DIR/$name (expected from $src)")
+  else
+    names+=("$name")
   fi
+done
+if [ "${#missing[@]}" -gt 0 ]; then
+  echo "${#missing[@]} MISSING bench binaries — refusing to run any:" >&2
+  for m in "${missing[@]}"; do
+    echo "  MISSING $m" >&2
+  done
+  exit 1
+fi
+
+status=0
+found=0
+for name in "${names[@]}"; do
+  bin="$BUILD_DIR/$name"
   found=$((found + 1))
   echo "=== $name (BLOBCR_BENCH_FAST=$BLOBCR_BENCH_FAST) ==="
   if ! "$bin" --benchmark_out="$OUT_DIR/BENCH_${name}.json" \

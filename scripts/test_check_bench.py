@@ -1,9 +1,11 @@
 """pytest coverage for scripts/check_bench.py (the CI bench regression gate).
 
 Covers the gate's contract: the tolerance band (within / beyond), one-sided
-regressions (improvements never fail), the `verified` never-flips-to-0 rule,
-missing-counter handling, missing fresh files (hard fail) vs missing
-baselines (note + pass), and the vacuous-pass guard when nothing matches.
+regressions (improvements never fail), higher-is-better counters (drops
+fail, gains never do), the `verified` never-flips-to-0 rule, gated counters
+vanishing from the fresh run (hard fail), missing fresh files (hard fail)
+vs missing baselines (note + pass), the vacuous-pass guard when nothing
+matches, and the markdown delta-table summary.
 
 Run:  python3 -m pytest scripts/test_check_bench.py -q
 """
@@ -22,6 +24,12 @@ check_bench = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(check_bench)
 
 FILE = "BENCH_fig3_restart_scaling.json"
+
+
+@pytest.fixture(autouse=True)
+def _no_github_summary(monkeypatch):
+    # Keep unit runs from appending delta tables to a real Actions summary.
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
 
 
 def bench_json(points):
@@ -121,12 +129,86 @@ def test_missing_baseline_is_note_not_failure(tmp_path):
     assert run_gate(tmp_path, fresh, None) == 0
 
 
-def test_missing_counter_in_fresh_is_skipped(tmp_path):
-    # A counter present only in the baseline is skipped (renames / counter
-    # removals surface in review, not as a spurious regression).
+def test_missing_counter_in_fresh_fails(tmp_path):
+    # A gated counter present only in the baseline means the bench silently
+    # stopped emitting it — the gate must fail loudly, not shrink its own
+    # coverage. (Retiring a counter means removing it from the committed
+    # baseline in the same PR.)
     base = {"Fig3/p": {"restart_s": 1.0, "repo_mb_per_inst": 5.0}}
     fresh = {"Fig3/p": {"restart_s": 1.0}}
+    assert run_gate(tmp_path, fresh, base) == 1
+
+
+def test_counter_retired_from_baseline_passes(tmp_path):
+    # The deliberate retirement path: the counter is gone from BOTH sides.
+    base = {"Fig3/p": {"restart_s": 1.0}}
+    fresh = {"Fig3/p": {"restart_s": 1.0, "new_counter": 3.0}}
     assert run_gate(tmp_path, fresh, base) == 0
+
+
+def test_higher_is_better_within_band_passes(tmp_path):
+    # -20% throughput is inside the 25% band.
+    base = {"Sweep/t1000/s16": {"index_lookups_per_s": 100000.0}}
+    fresh = {"Sweep/t1000/s16": {"index_lookups_per_s": 80000.0}}
+    assert run_gate(tmp_path, fresh, base) == 0
+
+
+def test_higher_is_better_drop_beyond_band_fails(tmp_path):
+    # -30% throughput breaches the floor.
+    base = {"Sweep/t1000/s16": {"index_lookups_per_s": 100000.0}}
+    fresh = {"Sweep/t1000/s16": {"index_lookups_per_s": 70000.0}}
+    assert run_gate(tmp_path, fresh, base) == 1
+
+
+def test_higher_is_better_improvement_never_fails(tmp_path):
+    base = {"Sweep/t1000/s16": {"index_lookups_per_s": 100000.0}}
+    fresh = {"Sweep/t1000/s16": {"index_lookups_per_s": 10000000.0}}
+    assert run_gate(tmp_path, fresh, base) == 0
+
+
+def test_higher_is_better_slack_absorbs_tiny_baselines(tmp_path):
+    # 200 -> 60 lookups/s is -70%, but the floor 200*0.75 - 100 = 50 absorbs
+    # it: tiny absolute rates should not gate on percentages.
+    base = {"Sweep/t10/s1": {"index_lookups_per_s": 200.0}}
+    fresh = {"Sweep/t10/s1": {"index_lookups_per_s": 60.0}}
+    assert run_gate(tmp_path, fresh, base) == 0
+
+
+def test_commit_p95_is_gated_lower_better(tmp_path):
+    base = {"Sweep/t1000/s16": {"commit_p95_s": 1.0, "verified": 1}}
+    fresh_ok = {"Sweep/t1000/s16": {"commit_p95_s": 1.2, "verified": 1}}
+    fresh_bad = {"Sweep/t1000/s16": {"commit_p95_s": 1.3, "verified": 1}}
+    assert run_gate(tmp_path, fresh_ok, base) == 0
+    assert run_gate(tmp_path, fresh_bad, base) == 1
+
+
+def test_summary_table_is_written(tmp_path):
+    base = {"Fig3/p": {"restart_s": 10.0, "verified": 1},
+            "Sweep/t1000/s16": {"index_lookups_per_s": 100000.0}}
+    fresh = {"Fig3/p": {"restart_s": 13.0, "verified": 1},  # +30%: FAIL
+             "Sweep/t1000/s16": {"index_lookups_per_s": 110000.0}}
+    write(tmp_path / "fresh", FILE, fresh)
+    write(tmp_path / "base", FILE, base)
+    summary = tmp_path / "summary.md"
+    rc = check_bench.main(["--fresh", str(tmp_path / "fresh"),
+                           "--baseline", str(tmp_path / "base"),
+                           "--file", FILE,
+                           "--summary", str(summary)])
+    assert rc == 1
+    text = summary.read_text()
+    assert "| file | benchmark | counter |" in text
+    assert "**FAIL**" in text            # the restart_s regression row
+    assert "+10.0%" in text              # the throughput improvement row
+    assert "restart makespan [s]" in text
+
+
+def test_summary_honors_github_step_summary_env(tmp_path, monkeypatch):
+    base = {"Fig3/p": {"restart_s": 1.0}}
+    fresh = {"Fig3/p": {"restart_s": 1.0}}
+    summary = tmp_path / "gh_summary.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    assert run_gate(tmp_path, fresh, base) == 0
+    assert "Bench regression gate" in summary.read_text()
 
 
 def test_no_matching_points_is_vacuous_fail(tmp_path):

@@ -46,6 +46,11 @@ class BlobStore {
     sim::Duration meta_request_cost = 30 * sim::kMicrosecond;
     sim::Duration manager_request_cost = 50 * sim::kMicrosecond;
     std::uint64_t meta_record_bytes = 64;
+    /// Version-manager shards: the blob version-slot table partitions by
+    /// blob-id hash, the named-blob registry by name hash, one request
+    /// queue per shard. 1 (default) is the single-daemon pre-sharding
+    /// behavior; the tenant-scale sweep raises it.
+    std::size_t version_shards = 1;
     /// Multi-tenant admission control (see net/qos.h). qos.enabled turns on
     /// weighted-fair ordering at the version/provider manager queues and the
     /// commit gate; qos.commit_slots bounds concurrently admitted commits.
@@ -73,11 +78,12 @@ class BlobStore {
         sim, fabric, cfg.provider_manager_node, std::move(raw),
         cfg.manager_request_cost);
     version_manager_ = std::make_unique<VersionManager>(
-        sim, fabric, cfg.version_manager_node, cfg.manager_request_cost);
+        sim, fabric, cfg.version_manager_node, cfg.manager_request_cost,
+        cfg.version_shards);
     commit_gate_ = std::make_unique<net::FairGate>(
         sim, cfg.qos.commit_slots, &tenants_, cfg.qos.enabled);
     if (cfg.qos.enabled) {
-      version_manager_->service().enable_fair(&tenants_);
+      version_manager_->enable_fair(&tenants_);
       provider_manager_->service().enable_fair(&tenants_);
     }
   }
@@ -147,7 +153,7 @@ class BlobStore {
   /// the commit gate plus the (fair-mode) version/provider manager queues.
   sim::Duration tenant_queue_wait(net::TenantId t) const {
     return tenant_usage(t).commit_wait +
-           version_manager_->service().tenant_wait(t) +
+           version_manager_->tenant_wait(t) +
            provider_manager_->service().tenant_wait(t);
   }
   /// tenant_usage with commit_wait widened to the full queue wait above —
@@ -212,6 +218,25 @@ class BlobStore {
     for (const auto& [id, source] : pin_sources_) source(out);
   }
 
+  /// Concurrent-GC epoch observers: the digest indexes log every dedup hit
+  /// served while a sweep's epoch is open (a Ref taken mid-epoch may
+  /// publish and unpin before the sweep's final pin collection — the log is
+  /// the only surviving witness). Same id-based lifecycle as the reclaim
+  /// hooks.
+  using GcEpochHook = std::function<void(bool /*open*/)>;
+  std::uint64_t add_gc_epoch_hook(GcEpochHook hook) {
+    const std::uint64_t id = ++next_hook_id_;
+    gc_epoch_hooks_.emplace_back(id, std::move(hook));
+    return id;
+  }
+  void remove_gc_epoch_hook(std::uint64_t id) {
+    std::erase_if(gc_epoch_hooks_,
+                  [id](const auto& h) { return h.first == id; });
+  }
+  void notify_gc_epoch(bool open) {
+    for (const auto& [id, hook] : gc_epoch_hooks_) hook(open);
+  }
+
  private:
   sim::Simulation* sim_;
   net::Fabric* fabric_;
@@ -229,6 +254,7 @@ class BlobStore {
   NodeRef next_node_ref_ = 1;
   std::vector<std::pair<std::uint64_t, ChunkReclaimHook>> reclaim_hooks_;
   std::vector<std::pair<std::uint64_t, ChunkPinSource>> pin_sources_;
+  std::vector<std::pair<std::uint64_t, GcEpochHook>> gc_epoch_hooks_;
   std::uint64_t next_hook_id_ = 0;
 };
 

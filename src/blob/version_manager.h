@@ -2,12 +2,25 @@
 // numbers, records version -> (tree root, size) mappings and the blob
 // registry, and implements CLONE (a new blob whose first version shares the
 // source root — zero data copied).
+//
+// The manager is hash-sharded (BlobStore::Config::version_shards): the
+// version-slot table partitions by blob-id hash and the named-blob registry
+// by name hash, each shard serving requests through its own 1-worker queue
+// (its lock). Commits against different blobs no longer serialize on one
+// daemon; a shard's queue is still a strict serialization point for the
+// blobs it owns, which is what publish-ordering correctness needs. Shard
+// count 1 is byte-for-byte the pre-sharding single-daemon behavior.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "blob/types.h"
+#include "common/rng.h"
 #include "net/fabric.h"
 #include "net/service.h"
 #include "sim/sim.h"
@@ -17,35 +30,64 @@ namespace blobcr::blob {
 class VersionManager {
  public:
   VersionManager(sim::Simulation& sim, net::Fabric& fabric, net::NodeId node,
-                 sim::Duration per_request_cost = 100 * sim::kMicrosecond)
-      : sim_(&sim), fabric_(&fabric), node_(node),
-        service_(sim, "version-manager", per_request_cost) {}
+                 sim::Duration per_request_cost = 100 * sim::kMicrosecond,
+                 std::size_t shards = 1)
+      : sim_(&sim), fabric_(&fabric), node_(node) {
+    const std::size_t count = shards < 1 ? 1 : shards;
+    shards_.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+      shards_.push_back(std::make_unique<Shard>(
+          sim, "version-manager-" + std::to_string(s), per_request_cost));
+    }
+  }
 
   net::NodeId node() const { return node_; }
-  /// The manager's request queue (BlobStore flips it to weighted-fair
-  /// dispatch when multi-tenant QoS is on).
-  net::ServiceQueue& service() { return service_; }
-  const net::ServiceQueue& service() const { return service_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Flips every shard's request queue to weighted-fair dispatch
+  /// (BlobStore calls this when multi-tenant QoS is on).
+  void enable_fair(const net::TenantRegistry* registry) {
+    for (auto& s : shards_) s->service.enable_fair(registry);
+  }
+  /// Total time `tenant`'s requests spent queued across all shard queues.
+  sim::Duration tenant_wait(net::TenantId tenant) const {
+    sim::Duration total = 0;
+    for (const auto& s : shards_) total += s->service.tenant_wait(tenant);
+    return total;
+  }
+  /// One shard's request queue (tests; per-shard load assertions).
+  net::ServiceQueue& shard_service(std::size_t shard) {
+    return shards_[shard]->service;
+  }
+  std::uint64_t shard_requests(std::size_t shard) const {
+    return shards_[shard]->service.requests_served();
+  }
 
   sim::Task<BlobId> create(net::NodeId client, std::uint64_t chunk_size,
                            net::TenantId tenant = net::kDefaultTenant) {
-    co_await round_trip(client, tenant);
+    // The id is allocated at request time so the create can be served by
+    // the owning shard's queue (ids are opaque handles; only the registry
+    // insert below needs the shard's serialization).
     const BlobId id = next_blob_id_++;
+    co_await round_trip(client, tenant, shard_for_blob(id));
     BlobMeta meta;
     meta.id = id;
     meta.chunk_size = chunk_size;
-    blobs_[id] = std::move(meta);
+    shard_for(id).blobs[id] = std::move(meta);
     co_return id;
   }
 
-  /// CLONE: a standalone blob sharing all content with (src, v).
+  /// CLONE: a standalone blob sharing all content with (src, v). Served by
+  /// the new blob's shard; the source (possibly another shard's blob) is
+  /// read with an in-process peek — it must already be published, so the
+  /// read races no writer.
   sim::Task<BlobId> clone(net::NodeId client, BlobId src, VersionId v,
                           net::TenantId tenant = net::kDefaultTenant) {
-    co_await round_trip(client, tenant);
+    const BlobId id = next_blob_id_++;
+    co_await round_trip(client, tenant, shard_for_blob(id));
     const BlobMeta& source = lookup(src);
     const VersionInfo& sv = source.version(v);
     if (sv.pending) throw BlobError("cannot clone a version not yet published");
-    const BlobId id = next_blob_id_++;
     BlobMeta meta;
     meta.id = id;
     meta.chunk_size = source.chunk_size;
@@ -57,7 +99,7 @@ class VersionManager {
     v1.size = sv.size;
     v1.created = sim_->now();
     meta.versions.push_back(v1);
-    blobs_[id] = std::move(meta);
+    shard_for(id).blobs[id] = std::move(meta);
     co_return id;
   }
 
@@ -67,7 +109,7 @@ class VersionManager {
   /// and reflects stage order even when drains complete later.
   sim::Task<VersionId> reserve(net::NodeId client, BlobId blob,
                                net::TenantId tenant = net::kDefaultTenant) {
-    co_await round_trip(client, tenant);
+    co_await round_trip(client, tenant, shard_for_blob(blob));
     BlobMeta& meta = lookup(blob);
     VersionInfo v;
     v.id = static_cast<VersionId>(meta.versions.size() + 1);
@@ -77,15 +119,16 @@ class VersionManager {
     co_return v.id;
   }
 
-  /// Publishes a new version (shadowed snapshot). Serialized per store.
-  /// With `reserved` non-zero the version fills that pending slot (taken
-  /// via reserve()) instead of appending a new one.
+  /// Publishes a new version (shadowed snapshot). Serialized per shard —
+  /// every version of one blob goes through one queue. With `reserved`
+  /// non-zero the version fills that pending slot (taken via reserve())
+  /// instead of appending a new one.
   sim::Task<VersionId> publish(net::NodeId client, BlobId blob, NodeRef root,
                                std::uint64_t size, std::uint64_t new_chunk_bytes,
                                std::uint64_t new_meta_bytes,
                                VersionId reserved = 0,
                                net::TenantId tenant = net::kDefaultTenant) {
-    co_await round_trip(client, tenant);
+    co_await round_trip(client, tenant, shard_for_blob(blob));
     BlobMeta& meta = lookup(blob);
     if (reserved != 0) {
       if (reserved > meta.versions.size())
@@ -114,7 +157,7 @@ class VersionManager {
 
   sim::Task<BlobMeta> stat(net::NodeId client, BlobId blob,
                            net::TenantId tenant = net::kDefaultTenant) {
-    co_await round_trip(client, tenant);
+    co_await round_trip(client, tenant, shard_for_blob(blob));
     co_return lookup(blob);
   }
 
@@ -122,39 +165,60 @@ class VersionManager {
   /// the checkpoint catalog) bind a name to a blob id so a fresh client —
   /// a new driver process after total loss — can discover repository-
   /// resident state it never created. Last bind wins; names are never
-  /// implicitly unbound.
+  /// implicitly unbound. Sharded by name hash, independently of where the
+  /// target blob's version slots live.
   sim::Task<> bind_name(net::NodeId client, const std::string& name,
                         BlobId id,
                         net::TenantId tenant = net::kDefaultTenant) {
-    co_await round_trip(client, tenant);
+    co_await round_trip(client, tenant, shard_for_name(name));
     if (!exists(id)) throw BlobError("bind_name to unknown blob");
-    names_[name] = id;
+    shards_[shard_for_name(name)]->names[name] = id;
   }
 
   /// Resolves a bound name; 0 when the name was never bound.
   sim::Task<BlobId> lookup_name(net::NodeId client, const std::string& name,
                                 net::TenantId tenant = net::kDefaultTenant) {
-    co_await round_trip(client, tenant);
-    const auto it = names_.find(name);
-    co_return it == names_.end() ? 0 : it->second;
+    co_await round_trip(client, tenant, shard_for_name(name));
+    co_return peek_name(name);
   }
 
   /// In-process peek at the registry (tests, bookkeeping).
   BlobId peek_name(const std::string& name) const {
-    const auto it = names_.find(name);
-    return it == names_.end() ? 0 : it->second;
+    const auto& names = shards_[shard_for_name(name)]->names;
+    const auto it = names.find(name);
+    return it == names.end() ? 0 : it->second;
   }
 
   /// Zero-cost accessors for in-process bookkeeping (benchmark harness,
   /// garbage collector) — not part of the simulated client protocol.
   const BlobMeta& peek(BlobId blob) const {
-    const auto it = blobs_.find(blob);
-    if (it == blobs_.end()) throw BlobError("unknown blob");
+    const auto& blobs = shards_[shard_for_blob(blob)]->blobs;
+    const auto it = blobs.find(blob);
+    if (it == blobs.end()) throw BlobError("unknown blob");
     return it->second;
   }
-  bool exists(BlobId blob) const { return blobs_.find(blob) != blobs_.end(); }
-  const std::unordered_map<BlobId, BlobMeta>& all() const { return blobs_; }
-  std::uint64_t requests_served() const { return service_.requests_served(); }
+  bool exists(BlobId blob) const {
+    const auto& blobs = shards_[shard_for_blob(blob)]->blobs;
+    return blobs.find(blob) != blobs.end();
+  }
+  /// Visits every registered blob (replaces the pre-sharding all() map: the
+  /// registry no longer lives in one container).
+  void for_each_blob(const std::function<void(const BlobMeta&)>& fn) const {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      for_each_blob_in_shard(s, fn);
+    }
+  }
+  /// Visits one shard's blobs — the concurrent GC's incremental mark walks
+  /// shard by shard, yielding in between, instead of one full-store pass.
+  void for_each_blob_in_shard(
+      std::size_t shard, const std::function<void(const BlobMeta&)>& fn) const {
+    for (const auto& [id, meta] : shards_[shard]->blobs) fn(meta);
+  }
+  std::uint64_t requests_served() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->service.requests_served();
+    return total;
+  }
 
   /// Removes version records < keep_from for a blob (GC support; chunk
   /// reclamation is handled by the garbage collector which walks trees).
@@ -166,25 +230,43 @@ class VersionManager {
   }
 
  private:
+  struct Shard {
+    Shard(sim::Simulation& sim, std::string name, sim::Duration cost)
+        : service(sim, std::move(name), cost) {}
+    net::ServiceQueue service;
+    std::unordered_map<BlobId, BlobMeta> blobs;
+    std::unordered_map<std::string, BlobId> names;
+  };
+
+  std::size_t shard_for_blob(BlobId blob) const {
+    return static_cast<std::size_t>(common::mix64(blob)) % shards_.size();
+  }
+  std::size_t shard_for_name(const std::string& name) const {
+    return static_cast<std::size_t>(
+               common::mix64(std::hash<std::string>{}(name))) %
+           shards_.size();
+  }
+  Shard& shard_for(BlobId blob) { return *shards_[shard_for_blob(blob)]; }
+
   BlobMeta& lookup(BlobId blob) {
-    const auto it = blobs_.find(blob);
-    if (it == blobs_.end()) throw BlobError("unknown blob");
+    auto& blobs = shard_for(blob).blobs;
+    const auto it = blobs.find(blob);
+    if (it == blobs.end()) throw BlobError("unknown blob");
     return it->second;
   }
 
-  sim::Task<> round_trip(net::NodeId client, net::TenantId tenant) {
+  sim::Task<> round_trip(net::NodeId client, net::TenantId tenant,
+                         std::size_t shard) {
     co_await fabric_->message(client, node_);
-    co_await service_.process(tenant);
+    co_await shards_[shard]->service.process(tenant);
     co_await fabric_->message(node_, client);
   }
 
   sim::Simulation* sim_;
   net::Fabric* fabric_;
   net::NodeId node_;
-  net::ServiceQueue service_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   BlobId next_blob_id_ = 1;
-  std::unordered_map<BlobId, BlobMeta> blobs_;
-  std::unordered_map<std::string, BlobId> names_;
 };
 
 }  // namespace blobcr::blob

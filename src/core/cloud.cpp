@@ -70,6 +70,7 @@ Cloud::Cloud(CloudConfig cfg) : cfg_(std::move(cfg)) {
     bcfg.default_chunk_size = cfg_.chunk_size;
     bcfg.replication = cfg_.replication;
     bcfg.qos = cfg_.qos;
+    bcfg.version_shards = cfg_.version_shards;
     blob_ = std::make_unique<blob::BlobStore>(sim_, *fabric_, bcfg);
   } else {
     pfs::PvfsCluster::Config pcfg;
@@ -172,13 +173,31 @@ net::TenantId Cloud::register_tenant(const std::string& name, double weight) {
 reduce::ChunkDigestIndex* Cloud::shared_digest_index() {
   if (blob_ == nullptr) return nullptr;
   if (shared_index_ == nullptr) {
-    shared_index_ = std::make_unique<reduce::ChunkDigestIndex>();
-    // One repository-lifetime reclaim hook: entries must drop when the GC
-    // reclaims chunks even while no deployment (and thus no reducer) is
-    // alive — e.g. a retention sweep between jobs.
+    shared_index_ = std::make_unique<reduce::ChunkDigestIndex>(
+        cfg_.reduction.index_shards);
+    shared_index_->attach_service(
+        sim_, cfg_.reduction.index_lookup_cost,
+        cfg_.qos.enabled ? &blob_->tenants() : nullptr);
+    // Repository-lifetime hooks (one set, owned here): entries must drop
+    // when the GC reclaims chunks, epoch logging must open/close with the
+    // concurrent sweep, and logged hits must count as pinned — all even
+    // while no deployment (and thus no reducer) is alive, e.g. a retention
+    // sweep between jobs.
     blob_->add_chunk_reclaim_hook(
         [index = shared_index_.get()](const std::vector<blob::ChunkId>& ids) {
           index->forget_chunks(ids);
+        });
+    blob_->add_gc_epoch_hook([index = shared_index_.get()](bool open) {
+      if (open) {
+        index->open_gc_epoch();
+      } else {
+        index->close_gc_epoch();
+      }
+    });
+    blob_->add_chunk_pin_source(
+        [index = shared_index_.get()](
+            std::unordered_set<blob::ChunkId>& out) {
+          index->collect_epoch_hits(out);
         });
   }
   return shared_index_.get();
@@ -239,7 +258,8 @@ Deployment::Deployment(Cloud& cloud, std::size_t instances,
     reducer_ = std::make_unique<reduce::Reducer>(
         *cloud.blob_store(), cloud.config().reduction,
         cloud.config().reduction.shared_index ? cloud.shared_digest_index()
-                                              : nullptr);
+                                              : nullptr,
+        tenant_);
   }
   mpi_ = std::make_unique<mpi::MpiWorld>(cloud.simulation(), cloud.fabric());
   validate_placement();

@@ -74,6 +74,10 @@ struct CloudConfig {
   /// version/provider manager queues and a bounded commit gate. Off (FIFO,
   /// unbounded commits) by default; see net/qos.h.
   net::QosConfig qos;
+  /// Version-manager shards (BlobCR backend only): blob version-slot table
+  /// by blob-id hash, named-blob registry by name hash, one request queue
+  /// per shard. 1 = the single-daemon pre-sharding behavior.
+  std::size_t version_shards = 1;
   /// Asynchronous commit pipeline (BlobCR backend only). Off by default;
   /// see src/flush/flush.h for the knobs and failure semantics.
   flush::FlushConfig flush;

@@ -415,13 +415,22 @@ Task<std::uint64_t> Session::apply_retention() {
         }
       }
     }
+    // The retention sweep runs inside a simulation process, so it uses the
+    // epoch-based concurrent collector: commits and drains of live jobs
+    // keep flowing between the per-shard mark slices and erase batches
+    // instead of stalling behind a full-store mark.
     blob::GarbageCollector gc(*cloud.blob_store());
     for (const auto& [image, keep_from] : floor) {
-      if (keep_from > 1) reclaimed += gc.collect(image, keep_from).reclaimed_bytes;
+      if (keep_from > 1) {
+        reclaimed +=
+            (co_await gc.collect_concurrent(image, keep_from)).reclaimed_bytes;
+      }
     }
     for (const auto& [image, max_dropped] : drop_max) {
       if (floor.count(image) != 0) continue;
-      reclaimed += gc.collect(image, max_dropped + 1).reclaimed_bytes;
+      reclaimed +=
+          (co_await gc.collect_concurrent(image, max_dropped + 1))
+              .reclaimed_bytes;
     }
     reclaimed += catalog_.compact();
   } else {

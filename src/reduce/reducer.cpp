@@ -10,27 +10,45 @@
 namespace blobcr::reduce {
 
 Reducer::Reducer(blob::BlobStore& store, const ReductionConfig& cfg,
-                 ChunkDigestIndex* shared_index)
+                 ChunkDigestIndex* shared_index, net::TenantId tenant)
     : store_(&store),
       cfg_(cfg),
+      tenant_(tenant),
+      own_index_(cfg.index_shards),
       index_(shared_index != nullptr ? shared_index : &own_index_) {
   if (!shares_index()) {
-    // An isolated index is this reducer's own: hook GC reclaim ourselves.
-    // A shared (repository-scoped) index outlives every deployment, so its
-    // owner — the Cloud — holds the one reclaim hook for it.
+    // An isolated index is this reducer's own: hook GC reclaim and the
+    // concurrent sweep's epoch open/close ourselves, and attach the shard
+    // queues. A shared (repository-scoped) index outlives every deployment,
+    // so its owner — the Cloud — holds the one set of hooks for it.
+    own_index_.attach_service(
+        store_->simulation(), cfg_.index_lookup_cost,
+        store_->config().qos.enabled ? &store_->tenants() : nullptr);
     hook_id_ = store_->add_chunk_reclaim_hook(
         [this](const std::vector<blob::ChunkId>& ids) {
           index_->forget_chunks(ids);
         });
+    gc_epoch_hook_id_ = store_->add_gc_epoch_hook([this](bool open) {
+      if (open) {
+        index_->open_gc_epoch();
+      } else {
+        index_->close_gc_epoch();
+      }
+    });
   }
   pin_source_id_ = store_->add_chunk_pin_source(
       [this](std::unordered_set<blob::ChunkId>& out) {
         for (const auto& [id, count] : pinned_) out.insert(id);
+        // Lookup hits served during an open GC epoch count as live: the
+        // pin of a Ref that published mid-epoch is already released, and
+        // the sweep's mark may have passed its blob before the publish.
+        if (!shares_index()) index_->collect_epoch_hits(out);
       });
 }
 
 Reducer::~Reducer() {
   if (hook_id_ != 0) store_->remove_chunk_reclaim_hook(hook_id_);
+  if (gc_epoch_hook_id_ != 0) store_->remove_gc_epoch_hook(gc_epoch_hook_id_);
   store_->remove_chunk_pin_source(pin_source_id_);
 }
 
@@ -66,8 +84,14 @@ sim::Task<blob::ReducedChunk> Reducer::reduce(net::NodeId node,
   const bool dedupable = cfg_.dedup && payload.fully_real();
   if (dedupable) {
     out.digest = payload.digest();
-    if (const blob::ChunkLocation* loc =
-            index_->lookup(out.digest, raw_size)) {
+    // With shard queues attached the lookup pays its simulated cost at the
+    // owning shard (per-tenant fair order); otherwise it is an in-process
+    // peek, exactly the pre-sharding timing model.
+    const blob::ChunkLocation* loc =
+        index_->service_attached()
+            ? co_await index_->lookup_queued(tenant_, out.digest, raw_size)
+            : index_->lookup(out.digest, raw_size);
+    if (loc != nullptr) {
       out.kind = blob::ReducedChunk::Kind::Ref;
       out.ref = *loc;
       // Pin until the referencing commit publishes (or fails): the GC

@@ -30,10 +30,13 @@ class Reducer final : public blob::CommitReducer {
   /// Registers with the store so GC invalidates the index on reclaim.
   /// With a `shared_index` (the repository-scoped index owned by the Cloud)
   /// this reducer records into and dedups against it — cross-job dedup —
-  /// and its owner is responsible for the reclaim hook; without one, the
-  /// reducer owns an isolated per-deployment index and hooks it itself.
+  /// and its owner is responsible for the reclaim/epoch hooks; without one,
+  /// the reducer owns an isolated per-deployment index and hooks it itself.
+  /// `tenant` tags the reducer's index lookups for the shard queues' fair
+  /// dispatch (the deployment's repository tenant).
   Reducer(blob::BlobStore& store, const ReductionConfig& cfg,
-          ChunkDigestIndex* shared_index = nullptr);
+          ChunkDigestIndex* shared_index = nullptr,
+          net::TenantId tenant = net::kDefaultTenant);
   ~Reducer() override;
 
   Reducer(const Reducer&) = delete;
@@ -65,6 +68,7 @@ class Reducer final : public blob::CommitReducer {
  private:
   blob::BlobStore* store_;
   ReductionConfig cfg_;
+  net::TenantId tenant_;
   ChunkDigestIndex own_index_;
   /// The index this pipeline dedups against: the Cloud's repository-scoped
   /// index (multi-tenant) or own_index_ (isolated).
@@ -73,6 +77,7 @@ class Reducer final : public blob::CommitReducer {
   ReductionStats epoch_base_;
   std::uint64_t hook_id_ = 0;
   std::uint64_t pin_source_id_ = 0;
+  std::uint64_t gc_epoch_hook_id_ = 0;
   /// Chunks referenced by in-flight commits (dedup Refs taken but not yet
   /// published), with a count per concurrent referencing commit. The GC
   /// treats them as live.
