@@ -64,6 +64,11 @@ GATED_COUNTERS = {
     # scale. (`verified` covers the sharded-vs-single p95 and throughput
     # inequalities plus bit-exact sampled restores.)
     "commit_p95_s": ("p95 commit completion [s]", 0.02),
+    # Federation: zone-loss restart makespan (restart + warm working set
+    # from surviving zones) and total cross-zone WAN traffic. (`verified`
+    # covers the hot-beats-floor inequality and bit-exact restores.)
+    "zone_loss_restart_s": ("zone-loss restart makespan [s]", 0.05),
+    "cross_zone_mb": ("federation cross-zone traffic [MB]", 0.5),
 }
 # Throughput-style metrics gate one-sided the OTHER way: the fresh value
 # must not drop below (1 - tolerance) x baseline - slack. Getting faster
@@ -72,6 +77,9 @@ HIGHER_IS_BETTER = {
     # Sharded metadata plane: digest-index lookups served per second of
     # repository makespan.
     "index_lookups_per_s": ("index lookup throughput [1/s]", 100.0),
+    # Federation: hot-chunk replication's zone-loss restart speedup over
+    # floor-only replication at the same zone count.
+    "zone_loss_speedup": ("zone-loss hot-replication speedup [x]", 0.05),
 }
 # Default file set: the restart- and commit-path benches the gate protects.
 DEFAULT_FILES = [
@@ -84,6 +92,7 @@ DEFAULT_FILES = [
     "BENCH_ablation_redundancy.json",
     "BENCH_ablation_elastic.json",
     "BENCH_ablation_shard_sweep.json",
+    "BENCH_ablation_federation.json",
 ]
 
 

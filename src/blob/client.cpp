@@ -70,6 +70,8 @@ const char* commit_stage_name(CommitStage s) {
       return "post-publish";
     case CommitStage::ParityEncode:
       return "parity-encode";
+    case CommitStage::Replicate:
+      return "replicate";
   }
   return "?";
 }
@@ -212,6 +214,21 @@ sim::Task<VersionId> BlobClient::write_extents_via(
   std::vector<ChunkLocation> locs(pieces.size());
   std::uint64_t stored_payload = payload_bytes;
 
+  // Per-tenant capacity ceiling, checked before the gate so a refused
+  // commit never consumes shared commit capacity. The pre-reduction payload
+  // is the admission-time upper bound of what this commit could make
+  // resident (reduction only shrinks it).
+  const BlobStore::TenantQuota& quota = store_->tenant_quota(tenant_);
+  if (quota.max_resident_bytes != 0 &&
+      store_->tenant_usage(tenant_).shipped_bytes + payload_bytes >
+          quota.max_resident_bytes) {
+    throw QuotaExceededError(
+        "tenant over resident-bytes quota: " +
+        std::to_string(store_->tenant_usage(tenant_).shipped_bytes) + " + " +
+        std::to_string(payload_bytes) + " > " +
+        std::to_string(quota.max_resident_bytes));
+  }
+
   // Commit admission: one slot per in-flight commit/drain, held from here
   // through publish. With QoS on the gate admits tenants weighted-fair, so
   // a bulk tenant's backlog cannot starve a small tenant's commit; with the
@@ -260,6 +277,7 @@ sim::Task<VersionId> BlobClient::write_extents_via(
     for (const Piece& p : pieces) sizes.push_back(p.length);
     locs = co_await store_->provider_manager().allocate(
         node_, sizes, replication, store_->chunk_id_counter(), tenant_);
+    for (ChunkLocation& loc : locs) loc.zone = store_->config().zone;
 
     if (opts.probe != nullptr) co_await (*opts.probe)(CommitStage::Putting);
 
@@ -342,6 +360,7 @@ sim::Task<VersionId> BlobClient::write_extents_via(
     for (std::size_t k = 0; k < store_idx.size(); ++k) {
       const std::size_t i = store_idx[k];
       ChunkLocation loc = alloc[k];
+      loc.zone = store_->config().zone;
       loc.encoding = plans[i].encoding;
       loc.logical_size = pieces[i].length;
       // Content identity travels into the leaf only when the digest is a
@@ -588,6 +607,31 @@ sim::Task<common::Buffer> BlobClient::read(BlobId blob, VersionId version,
   }
   bytes_read_ += len;
   co_return out;
+}
+
+sim::Task<VersionId> BlobClient::adopt_leaves(
+    BlobId blob, std::uint64_t logical_size,
+    const std::vector<std::pair<std::uint64_t, ChunkLocation>>& leaves) {
+  VersionId latest = 0;
+  const VersionEntry base = co_await resolve(blob, latest);
+  if (base.root != 0)
+    throw BlobError("adopt_leaves requires a fresh (empty) blob");
+  if (leaves.empty()) throw BlobError("adopt_leaves: empty leaf set");
+  std::vector<std::pair<std::uint64_t, ChunkLocation>> writes = leaves;
+  std::sort(writes.begin(), writes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (writes.back().first >= capacity_chunks())
+    throw BlobError("adopted leaf beyond blob capacity");
+  std::vector<std::pair<NodeRef, TreeNode>> new_nodes;
+  const NodeRef new_root = build(0, 0, capacity_chunks(), writes, new_nodes);
+  const std::uint64_t meta_bytes =
+      new_nodes.size() * store_->metadata().record_bytes();
+  co_await store_->metadata().put_nodes(node_, std::move(new_nodes));
+  const VersionId v = co_await store_->version_manager().publish(
+      node_, blob, new_root, logical_size, 0, meta_bytes, 0, tenant_);
+  version_cache_[VersionKey{blob, v}] =
+      VersionEntry{new_root, logical_size, base.chunk_size};
+  co_return v;
 }
 
 sim::Task<std::vector<BlobClient::ChunkRef>> BlobClient::resolve_chunks(

@@ -38,6 +38,10 @@ enum class CommitStage {
   PrePublish,
   PostPublish,
   ParityEncode,
+  /// Fired by the flush agent after ParityEncode, just before the drained
+  /// chunks replicate asynchronously to sibling zones (federation::Fabric).
+  /// A kill there leaves a published-but-unreplicated version.
+  Replicate,
 };
 
 const char* commit_stage_name(CommitStage s);
@@ -127,6 +131,16 @@ class BlobClient {
   /// Reads [offset, offset+len) of a version. Unwritten holes read as zeros.
   sim::Task<common::Buffer> read(BlobId blob, VersionId version,
                                  std::uint64_t offset, std::uint64_t len);
+
+  /// Metadata-only COMMIT of verbatim leaves into `blob` (federation zone
+  /// failover: a surviving zone adopts a dead zone's version by rebuilding
+  /// the tree over the dead store's leaf tuples — locations kept verbatim,
+  /// zone ids included, so fetches resolve through the federation's nearest-
+  /// zone path). No chunk payloads move; only tree nodes are put and a
+  /// version published. `leaves` maps chunk index -> location.
+  sim::Task<VersionId> adopt_leaves(
+      BlobId blob, std::uint64_t logical_size,
+      const std::vector<std::pair<std::uint64_t, ChunkLocation>>& leaves);
 
   /// One resolved leaf of a version: chunk index plus the stored location
   /// (ChunkId, content digest, encoding, replicas). The restart data plane

@@ -60,6 +60,26 @@ class DataProvider {
     co_return data;
   }
 
+  /// fetch() over a shaped traffic class (federation: wide-area pulls ride
+  /// the WAN shape instead of the intra-deployment default).
+  sim::Task<common::Buffer> fetch_shaped(net::NodeId to, ChunkId id,
+                                         net::Fabric::Shape shape) {
+    if (!alive_ || !store_.has(id)) throw BlobError("chunk unavailable");
+    common::Buffer data = co_await store_.get(id);
+    co_await fabric_->transfer(node_, to, data.size(), shape);
+    co_return data;
+  }
+
+  /// Lands an already-delivered payload on this provider's disk (no fabric
+  /// transfer — the replicator moved the bytes itself, over its own traffic
+  /// class, before handing them over).
+  sim::Task<> put_local(ChunkId id, common::Buffer data) {
+    if (!alive_) throw BlobError("provider down");
+    ++pending_stores_;
+    co_await store_.put(id, std::move(data));
+    --pending_stores_;
+  }
+
   bool has(ChunkId id) const { return alive_ && store_.has(id); }
   bool erase(ChunkId id) { return store_.erase(id); }
 

@@ -55,6 +55,9 @@ class BlobStore {
     /// weighted-fair ordering at the version/provider manager queues and the
     /// commit gate; qos.commit_slots bounds concurrently admitted commits.
     net::QosConfig qos;
+    /// Availability zone this store belongs to (federation::Fabric). Stamped
+    /// into every ChunkLocation the store's clients commit.
+    std::uint32_t zone = 0;
   };
 
   BlobStore(sim::Simulation& sim, net::Fabric& fabric, const Config& cfg)
@@ -181,6 +184,20 @@ class BlobStore {
     u.repair_bytes += bytes;
   }
 
+  /// Per-tenant capacity ceilings, enforced at commit admission
+  /// (BlobClient::write_extents_via) against the tenant_usage numbers and at
+  /// catalog staging (cr::Catalog). 0 = unlimited.
+  struct TenantQuota {
+    std::uint64_t max_resident_bytes = 0;   // shipped (post-reduction) bytes
+    std::uint64_t max_catalog_records = 0;  // staged checkpoint records
+  };
+  void set_tenant_quota(net::TenantId t, TenantQuota q) { quotas_[t] = q; }
+  const TenantQuota& tenant_quota(net::TenantId t) const {
+    static const TenantQuota kUnlimited;
+    const auto it = quotas_.find(t);
+    return it == quotas_.end() ? kUnlimited : it->second;
+  }
+
   /// Chunk-reclaim observers: the reduction subsystem's digest indexes must
   /// drop entries for chunks the garbage collector deletes, otherwise a
   /// later dedup hit would reference reclaimed (lost) content. Hooks are
@@ -244,6 +261,7 @@ class BlobStore {
   /// Declared before the managers: their fair queues hold registry pointers.
   net::TenantRegistry tenants_;
   std::unordered_map<net::TenantId, TenantUsage> usage_;
+  std::unordered_map<net::TenantId, TenantQuota> quotas_;
   std::vector<std::unique_ptr<DataProvider>> providers_;
   std::unordered_map<net::NodeId, DataProvider*> by_node_;
   std::unique_ptr<MetadataCluster> metadata_;

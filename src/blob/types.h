@@ -22,6 +22,14 @@ class BlobError : public std::runtime_error {
   explicit BlobError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A commit was refused at admission because the tenant's capacity ceiling
+/// (resident bytes or catalog records) would be exceeded. Typed so drivers
+/// can distinguish policy refusal from data-path failure.
+class QuotaExceededError : public BlobError {
+ public:
+  explicit QuotaExceededError(const std::string& what) : BlobError(what) {}
+};
+
 /// How a stored chunk payload maps back to logical bytes (set by the
 /// reduction pipeline; plain commits always store Raw).
 enum class ChunkEncoding : std::uint8_t {
@@ -44,6 +52,10 @@ struct ChunkLocation {
   /// decoded-chunk caches and peer exchange on this when present, so two
   /// distinct ChunkIds holding identical content share one cached copy.
   std::uint64_t digest = 0;
+  /// Availability zone of the BlobStore that owns this chunk (federation).
+  /// 0 in a single-zone deployment; the restart plane uses it to resolve
+  /// fetches to the nearest zone holding the content.
+  std::uint32_t zone = 0;
 
   std::uint32_t logical() const { return logical_size != 0 ? logical_size : size; }
 };

@@ -44,6 +44,11 @@ class VersionManager {
   net::NodeId node() const { return node_; }
   std::size_t shard_count() const { return shards_.size(); }
 
+  /// Re-bases the blob-id allocator (federation: each zone's manager issues
+  /// ids from a disjoint range, so the owning zone of any blob id is a pure
+  /// decode). Call before the first create().
+  void seed_blob_ids(BlobId base) { next_blob_id_ = base; }
+
   /// Flips every shard's request queue to weighted-fair dispatch
   /// (BlobStore calls this when multi-tenant QoS is on).
   void enable_fair(const net::TenantRegistry* registry) {

@@ -30,14 +30,38 @@ const char* backend_name(Backend b) {
 // --- Cloud -------------------------------------------------------------------
 
 Cloud::Cloud(CloudConfig cfg) : cfg_(std::move(cfg)) {
-  // Node layout: [0, C) compute nodes, then service nodes.
+  // Node layout: [0, C) compute nodes, then service nodes. With federation
+  // the compute pool splits into Z contiguous zone slabs and each zone gets
+  // its own service-node set; Z == 1 reproduces the classic layout (and
+  // node numbering) exactly.
   const std::size_t c = cfg_.compute_nodes;
+  const std::size_t zones =
+      cfg_.backend == Backend::BlobCR
+          ? std::max<std::size_t>(1, cfg_.federation.zones)
+          : 1;
+  if (zones > c) {
+    throw std::invalid_argument(common::strf(
+        "federation of %zu zones needs at least one compute node per zone "
+        "(%zu available)",
+        zones, c));
+  }
   std::size_t total = c;
-  const net::NodeId vm_mgr = static_cast<net::NodeId>(total++);
-  const net::NodeId pm = static_cast<net::NodeId>(total++);
-  std::vector<net::NodeId> meta_nodes;
-  for (std::size_t i = 0; i < cfg_.metadata_nodes; ++i) {
-    meta_nodes.push_back(static_cast<net::NodeId>(total++));
+  struct ZoneNodes {
+    net::NodeId vm_mgr = 0;
+    net::NodeId pm = 0;
+    std::vector<net::NodeId> meta;
+  };
+  std::vector<ZoneNodes> znodes(zones);
+  const std::size_t meta_per_zone =
+      std::max<std::size_t>(1, cfg_.metadata_nodes / zones);
+  for (std::size_t z = 0; z < zones; ++z) {
+    znodes[z].vm_mgr = static_cast<net::NodeId>(total++);
+    znodes[z].pm = static_cast<net::NodeId>(total++);
+    const std::size_t meta =
+        zones == 1 ? cfg_.metadata_nodes : meta_per_zone;
+    for (std::size_t i = 0; i < meta; ++i) {
+      znodes[z].meta.push_back(static_cast<net::NodeId>(total++));
+    }
   }
   const net::NodeId pvfs_meta = static_cast<net::NodeId>(total++);
 
@@ -58,20 +82,55 @@ Cloud::Cloud(CloudConfig cfg) : cfg_(std::move(cfg)) {
   }
 
   if (cfg_.backend == Backend::BlobCR) {
-    blob::BlobStore::Config bcfg;
-    bcfg.version_manager_node = vm_mgr;
-    bcfg.provider_manager_node = pm;
-    bcfg.metadata_nodes = meta_nodes;
-    for (std::size_t n = 0; n < c; ++n) {
-      bcfg.data_providers.push_back({static_cast<net::NodeId>(n),
-                                     disks_[n].get(),
-                                     streams_[n].next()});
+    const std::size_t slab = c / zones;
+    for (std::size_t z = 0; z < zones; ++z) {
+      const std::size_t begin = z * slab;
+      const std::size_t end = (z + 1 == zones) ? c : (z + 1) * slab;
+      blob::BlobStore::Config bcfg;
+      bcfg.version_manager_node = znodes[z].vm_mgr;
+      bcfg.provider_manager_node = znodes[z].pm;
+      bcfg.metadata_nodes = znodes[z].meta;
+      for (std::size_t n = begin; n < end; ++n) {
+        bcfg.data_providers.push_back({static_cast<net::NodeId>(n),
+                                       disks_[n].get(),
+                                       streams_[n].next()});
+      }
+      bcfg.default_chunk_size = cfg_.chunk_size;
+      bcfg.replication = cfg_.replication;
+      bcfg.qos = cfg_.qos;
+      bcfg.version_shards = cfg_.version_shards;
+      bcfg.zone = static_cast<std::uint32_t>(z);
+      auto store = std::make_unique<blob::BlobStore>(sim_, *fabric_, bcfg);
+      if (z > 0) {
+        // Disjoint id ranges per zone: a blob/chunk id decodes to its home
+        // zone, and replica copies can keep their origin ChunkId anywhere.
+        store->version_manager().seed_blob_ids(
+            1 + (static_cast<blob::BlobId>(z)
+                 << federation::Fabric::kBlobZoneShift));
+        store->chunk_id_counter() =
+            1 + (static_cast<blob::ChunkId>(z)
+                 << federation::Fabric::kChunkZoneShift);
+        store->node_ref_counter() =
+            1 + (static_cast<blob::NodeRef>(z)
+                 << federation::Fabric::kChunkZoneShift);
+      }
+      if (z == 0) {
+        blob_ = std::move(store);
+      } else {
+        zone_stores_.push_back(std::move(store));
+      }
     }
-    bcfg.default_chunk_size = cfg_.chunk_size;
-    bcfg.replication = cfg_.replication;
-    bcfg.qos = cfg_.qos;
-    bcfg.version_shards = cfg_.version_shards;
-    blob_ = std::make_unique<blob::BlobStore>(sim_, *fabric_, bcfg);
+    if (zones > 1) {
+      federation_ = std::make_unique<federation::Fabric>(sim_, *fabric_,
+                                                         cfg_.federation);
+      for (std::size_t z = 0; z < zones; ++z) {
+        const std::size_t begin = z * slab;
+        const std::size_t end = (z + 1 == zones) ? c : (z + 1) * slab;
+        federation_->add_zone(blob_store(static_cast<std::uint32_t>(z)),
+                              static_cast<net::NodeId>(begin),
+                              static_cast<net::NodeId>(end));
+      }
+    }
   } else {
     pfs::PvfsCluster::Config pcfg;
     pcfg.meta_node = pvfs_meta;
@@ -118,8 +177,6 @@ sim::Task<> Cloud::provision_base_image() {
   // Upload from the client side (node 0 stands in for the cloud client's
   // entry point; upload time is part of provisioning, not of any figure).
   if (cfg_.backend == Backend::BlobCR) {
-    blob::BlobClient client(*blob_, compute_node(0));
-    base_blob_ = co_await client.create(cfg_.chunk_size);
     // Chunk-aligned extents; FS regions are 256 KiB-aligned so real
     // metadata never shares a chunk with phantom data.
     std::vector<blob::Extent> extents;
@@ -145,7 +202,22 @@ sim::Task<> Cloud::provision_base_image() {
       }
     }
     if (in_run) extents.push_back({run_begin, std::move(run_data)});
-    (void)co_await client.write_extents(base_blob_, std::move(extents));
+    // One copy of the base image per zone, uploaded from the zone's first
+    // compute node: a fresh instance clones its zone's copy, so its later
+    // commits stay zone-local (the federation's placement affinity).
+    const std::size_t zone_count = zones();
+    const std::size_t slab = cfg_.compute_nodes / zone_count;
+    base_blobs_.clear();
+    for (std::uint32_t z = 0; z < zone_count; ++z) {
+      blob::BlobStore* store = blob_store(z);
+      blob::BlobClient client(*store,
+                              static_cast<net::NodeId>(z * slab));
+      const blob::BlobId blob = co_await client.create(cfg_.chunk_size);
+      std::vector<blob::Extent> copy = extents;
+      (void)co_await client.write_extents(blob, std::move(copy));
+      base_blobs_.push_back(blob);
+    }
+    base_blob_ = base_blobs_.front();
   } else {
     base_pvfs_path_ = "/images/base.raw";
     pfs::PvfsClient client(*pvfs_, compute_node(0));
@@ -164,10 +236,21 @@ sim::Task<> Cloud::provision_base_image() {
 }
 
 net::TenantId Cloud::register_tenant(const std::string& name, double weight) {
-  if (blob_ != nullptr) return blob_->tenants().register_tenant(name, weight);
+  if (blob_ != nullptr) {
+    // Same registration order on every zone store => the same TenantId
+    // everywhere, so one id tags a job's requests across the federation.
+    const net::TenantId id = blob_->tenants().register_tenant(name, weight);
+    for (auto& s : zone_stores_) s->tenants().register_tenant(name, weight);
+    return id;
+  }
   // PVFS baselines have no QoS-enforcing repository; ids still namespace
   // per-job artifacts and counters.
   return ++pvfs_tenant_seq_;
+}
+
+void Cloud::set_tenant_quota(net::TenantId t, blob::BlobStore::TenantQuota q) {
+  if (blob_ != nullptr) blob_->set_tenant_quota(t, q);
+  for (auto& s : zone_stores_) s->set_tenant_quota(t, q);
 }
 
 reduce::ChunkDigestIndex* Cloud::shared_digest_index() {
@@ -183,22 +266,31 @@ reduce::ChunkDigestIndex* Cloud::shared_digest_index() {
     // concurrent sweep, and logged hits must count as pinned — all even
     // while no deployment (and thus no reducer) is alive, e.g. a retention
     // sweep between jobs.
-    blob_->add_chunk_reclaim_hook(
-        [index = shared_index_.get()](const std::vector<blob::ChunkId>& ids) {
-          index->forget_chunks(ids);
-        });
-    blob_->add_gc_epoch_hook([index = shared_index_.get()](bool open) {
-      if (open) {
-        index->open_gc_epoch();
-      } else {
-        index->close_gc_epoch();
-      }
-    });
-    blob_->add_chunk_pin_source(
-        [index = shared_index_.get()](
-            std::unordered_set<blob::ChunkId>& out) {
-          index->collect_epoch_hits(out);
-        });
+    // Every zone's store shares the one index — its GC must invalidate
+    // entries and its sweeps must see epoch hits just like zone 0's.
+    for (std::uint32_t z = 0; z < zones(); ++z) {
+      blob::BlobStore* s = blob_store(z);
+      s->add_chunk_reclaim_hook(
+          [index =
+               shared_index_.get()](const std::vector<blob::ChunkId>& ids) {
+            index->forget_chunks(ids);
+          });
+      s->add_gc_epoch_hook([index = shared_index_.get()](bool open) {
+        if (open) {
+          index->open_gc_epoch();
+        } else {
+          index->close_gc_epoch();
+        }
+      });
+      s->add_chunk_pin_source(
+          [index = shared_index_.get()](
+              std::unordered_set<blob::ChunkId>& out) {
+            index->collect_epoch_hits(out);
+          });
+    }
+    if (federation_ != nullptr) {
+      federation_->set_digest_index(shared_index_.get());
+    }
   }
   return shared_index_.get();
 }
@@ -212,20 +304,31 @@ redundancy::Manager* Cloud::redundancy() {
     // One repository-lifetime reclaim hook: GC reclaim of a member chunk
     // invalidates its whole parity group (no orphaned parity blocks), even
     // while no deployment is alive — e.g. a retention sweep between jobs.
-    blob_->add_chunk_reclaim_hook(
-        [mgr = redundancy_.get()](const std::vector<blob::ChunkId>& ids) {
-          mgr->forget_chunks(ids);
-        });
+    for (std::uint32_t z = 0; z < zones(); ++z) {
+      blob_store(z)->add_chunk_reclaim_hook(
+          [mgr = redundancy_.get()](const std::vector<blob::ChunkId>& ids) {
+            mgr->forget_chunks(ids);
+          });
+    }
   }
   return redundancy_.get();
 }
 
 void Cloud::fail_node(net::NodeId node) {
+  // Provider slabs are disjoint across zones — at most one store reacts.
   if (blob_) blob_->fail_node(node);
+  for (auto& s : zone_stores_) s->fail_node(node);
 }
 
 std::uint64_t Cloud::repository_bytes() const {
-  if (blob_) return blob_->total_stored_bytes() + blob_->total_meta_bytes();
+  if (blob_) {
+    std::uint64_t total =
+        blob_->total_stored_bytes() + blob_->total_meta_bytes();
+    for (const auto& s : zone_stores_) {
+      total += s->total_stored_bytes() + s->total_meta_bytes();
+    }
+    return total;
+  }
   if (pvfs_) return pvfs_->total_stored_bytes();
   return 0;
 }
@@ -255,11 +358,16 @@ Deployment::Deployment(Cloud& cloud, std::size_t instances,
     // The digest index is repository-scoped by default — concurrent jobs
     // dedup against each other's committed chunks — while the reducer
     // (stats, epochs, in-flight pins) stays deployment-scoped.
-    reducer_ = std::make_unique<reduce::Reducer>(
-        *cloud.blob_store(), cloud.config().reduction,
-        cloud.config().reduction.shared_index ? cloud.shared_digest_index()
-                                              : nullptr,
-        tenant_);
+    // One reducer per zone: the reducer's store drives dedup's preferred
+    // zone, in-flight pin registration and the zone-local Ref check, so it
+    // must match the store a mirror actually commits against.
+    for (std::uint32_t z = 0; z < cloud.zones(); ++z) {
+      reducers_.push_back(std::make_unique<reduce::Reducer>(
+          *cloud.blob_store(z), cloud.config().reduction,
+          cloud.config().reduction.shared_index ? cloud.shared_digest_index()
+                                                : nullptr,
+          tenant_));
+    }
   }
   mpi_ = std::make_unique<mpi::MpiWorld>(cloud.simulation(), cloud.fabric());
   validate_placement();
@@ -297,10 +405,16 @@ void Deployment::build_instance_fresh(std::size_t i, net::NodeId node) {
     mcfg.flush = flush_cfg_;
     mcfg.tenant = tenant_;
     mcfg.redundancy = cloud.redundancy();
+    mcfg.federation = cloud.federation();
+    // Placement affinity: a fresh instance clones its own zone's base image
+    // so its commits land in the zone-local repository.
+    const std::uint32_t zone = cloud.zone_of_node(node);
+    blob::BlobStore* store = cloud.blob_store(zone);
+    if (store == nullptr) store = cloud.blob_store();
     inst->mirror = std::make_unique<MirrorDevice>(
-        *cloud.blob_store(), node, cloud.disk(node),
-        cloud.next_disk_stream(node), cloud.base_blob(), 1, mcfg,
-        cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_.get(),
+        *store, node, cloud.disk(node), cloud.next_disk_stream(node),
+        cloud.base_blob(zone), 1, mcfg,
+        cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_for_store(store),
         cloud.chunk_cache(node));
     inst->proxy = std::make_unique<CheckpointProxy>(
         cloud.simulation(), cloud.fabric(), node, cfg.proxy_auth_cost);
@@ -371,7 +485,7 @@ sim::Task<InstanceSnapshot> Deployment::snapshot_instance(std::size_t i) {
     // provisional (async) version doesn't know its size yet — the record
     // fills in when the drain publishes.
     const blob::BlobMeta& meta =
-        cloud_->blob_store()->version_manager().peek(r.image);
+        cloud_->store_of_blob(r.image)->version_manager().peek(r.image);
     if (r.version != 0) {
       const blob::VersionInfo& v = meta.version(r.version);
       if (!v.pending) snap.bytes = v.new_chunk_bytes + v.new_meta_bytes;
@@ -429,10 +543,11 @@ GlobalCheckpoint Deployment::collect_last_snapshots() const {
     // so Fig4/Table1-style accounting sees drained snapshots.
     if (snap.backend == Backend::BlobCR && snap.image != 0 &&
         snap.version != 0 && snap.bytes == 0 &&
-        cloud_->blob_store() != nullptr &&
-        cloud_->blob_store()->version_manager().exists(snap.image)) {
+        cloud_->store_of_blob(snap.image) != nullptr &&
+        cloud_->store_of_blob(snap.image)->version_manager().exists(
+            snap.image)) {
       const blob::BlobMeta& meta =
-          cloud_->blob_store()->version_manager().peek(snap.image);
+          cloud_->store_of_blob(snap.image)->version_manager().peek(snap.image);
       if (snap.version <= meta.versions.size()) {
         const blob::VersionInfo& v = meta.version(snap.version);
         if (!v.pending) snap.bytes = v.new_chunk_bytes + v.new_meta_bytes;
@@ -505,15 +620,31 @@ sim::Task<> Deployment::build_instance_from_snapshot(std::size_t i,
   const CloudConfig& cfg = cloud.config();
 
   if (cfg.backend == Backend::BlobCR) {
+    // Federated restart: if the snapshot's home zone died, resolve the
+    // tuple to a survivor-zone adoption of the replicated manifest before
+    // the mirror binds a store. The instance records the *resolved* tuple
+    // so later restarts and retention act on the adopted lineage.
+    if (snap.image != 0 && snap.version != 0 &&
+        cloud.federation() != nullptr && cloud.federation()->enabled()) {
+      const auto resolved = co_await cloud.federation()->resolve_restart(
+          snap.image, snap.version, node, tenant_);
+      snap.image = resolved.first;
+      snap.version = resolved.second;
+      inst->last_snapshot.image = snap.image;
+      inst->last_snapshot.version = snap.version;
+    }
     MirrorDevice::Config mcfg;
     mcfg.capacity = cloud.image_size();
     mcfg.flush = flush_cfg_;
     mcfg.tenant = tenant_;
     mcfg.redundancy = cloud.redundancy();
+    mcfg.federation = cloud.federation();
+    blob::BlobStore* store = cloud.store_of_blob(snap.image);
+    if (store == nullptr) store = cloud.blob_store();
     inst->mirror = std::make_unique<MirrorDevice>(
-        *cloud.blob_store(), node, cloud.disk(node),
-        cloud.next_disk_stream(node), snap.image, snap.version, mcfg,
-        cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_.get(),
+        *store, node, cloud.disk(node), cloud.next_disk_stream(node),
+        snap.image, snap.version, mcfg,
+        cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_for_store(store),
         cloud.chunk_cache(node));
     // Subsequent checkpoints land in the same checkpoint image — except for
     // an elastic clone (M > N), which shares its source tuple with another
@@ -639,6 +770,15 @@ sim::Task<> Deployment::build_instance_from_plan(std::size_t i,
     auto vol = std::make_unique<AttachedVolume>();
     vol->source = src;
     if (cfg.backend == Backend::BlobCR) {
+      InstanceSnapshot resolved = src;
+      if (resolved.image != 0 && resolved.version != 0 &&
+          cloud.federation() != nullptr && cloud.federation()->enabled()) {
+        const auto r = co_await cloud.federation()->resolve_restart(
+            resolved.image, resolved.version, node, tenant_);
+        resolved.image = r.first;
+        resolved.version = r.second;
+        vol->source = resolved;
+      }
       MirrorDevice::Config acfg;
       acfg.capacity = cloud.image_size();
       // Nothing commits through a data volume: no async drain, but the
@@ -646,11 +786,14 @@ sim::Task<> Deployment::build_instance_from_plan(std::size_t i,
       acfg.flush = flush::FlushConfig{};
       acfg.tenant = tenant_;
       acfg.redundancy = cloud.redundancy();
+      acfg.federation = cloud.federation();
+      blob::BlobStore* store = cloud.store_of_blob(resolved.image);
+      if (store == nullptr) store = cloud.blob_store();
       vol->mirror = std::make_unique<MirrorDevice>(
-          *cloud.blob_store(), node, cloud.disk(node),
-          cloud.next_disk_stream(node), src.image, src.version, acfg,
-          cfg.adaptive_prefetch ? bus_.get() : nullptr, reducer_.get(),
-          cloud.chunk_cache(node));
+          *store, node, cloud.disk(node), cloud.next_disk_stream(node),
+          resolved.image, resolved.version, acfg,
+          cfg.adaptive_prefetch ? bus_.get() : nullptr,
+          reducer_for_store(store), cloud.chunk_cache(node));
     } else {
       auto backing = co_await pfs::PvfsFileStore::open(
           *cloud.pvfs(), node, cloud.base_pvfs_path(), false);
@@ -725,6 +868,18 @@ std::uint64_t Deployment::boot_parity_bytes() const {
     if (inst->mirror) total += inst->mirror->parity_bytes_rebuilt();
     for (const auto& vol : inst->attached) {
       if (vol->mirror) total += vol->mirror->parity_bytes_rebuilt();
+    }
+  }
+  return total;
+}
+
+std::uint64_t Deployment::boot_wan_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& inst : instances_) {
+    if (!inst) continue;
+    if (inst->mirror) total += inst->mirror->wan_bytes_fetched();
+    for (const auto& vol : inst->attached) {
+      if (vol->mirror) total += vol->mirror->wan_bytes_fetched();
     }
   }
   return total;

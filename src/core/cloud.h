@@ -19,6 +19,7 @@
 #include "blob/client.h"
 #include "blob/store.h"
 #include "common/sparse.h"
+#include "federation/federation.h"
 #include "common/units.h"
 #include "core/chunk_cache.h"
 #include "core/mirror_device.h"
@@ -85,6 +86,14 @@ struct CloudConfig {
   /// the encode rides the async drain). Off by default; see
   /// src/redundancy/parity.h for the knobs.
   redundancy::RedundancyConfig redundancy;
+  /// Cross-repo federation (BlobCR backend only): federation.zones > 1
+  /// splits the compute pool into that many availability zones, each with
+  /// its own BlobStore (own managers, own metadata plane, own provider
+  /// slab), joined into one logical repository by federation::Fabric.
+  /// Manifest registration and chunk replication ride the async drain, so
+  /// zone-loss failover requires flush.enabled. See
+  /// src/federation/federation.h for the knobs.
+  federation::FederationConfig federation;
   bool adaptive_prefetch = true;
   sim::Duration hint_latency = 300 * sim::kMicrosecond;
   /// Content-addressed restart data plane: intra-deployment peer copies of
@@ -163,6 +172,29 @@ class Cloud {
   const CloudConfig& config() const { return cfg_; }
   net::Fabric& fabric() { return *fabric_; }
   blob::BlobStore* blob_store() { return blob_.get(); }
+  /// Zone z's store (zone 0 == blob_store()); nullptr for unknown zones or
+  /// non-BlobCR backends.
+  blob::BlobStore* blob_store(std::uint32_t zone) {
+    if (zone == 0) return blob_.get();
+    return zone <= zone_stores_.size() ? zone_stores_[zone - 1].get()
+                                       : nullptr;
+  }
+  /// Availability zones the repository spans (1 without federation).
+  std::size_t zones() const { return blob_ ? 1 + zone_stores_.size() : 1; }
+  /// The federation fabric joining the zone stores; nullptr when
+  /// federation is off (zones == 1) or the backend is not BlobCR.
+  federation::Fabric* federation() { return federation_.get(); }
+  /// The store owning `id` (decoded from the blob id's zone bits; always
+  /// the single store without federation).
+  blob::BlobStore* store_of_blob(blob::BlobId id) {
+    return federation_ != nullptr ? federation_->store_of_blob(id)
+                                  : blob_.get();
+  }
+  std::uint32_t zone_of_node(net::NodeId node) const {
+    return federation_ != nullptr ? federation_->zone_of_node(node) : 0;
+  }
+  /// Per-tenant capacity ceiling, installed on every zone's store.
+  void set_tenant_quota(net::TenantId t, blob::BlobStore::TenantQuota q);
   pfs::PvfsCluster* pvfs() { return pvfs_.get(); }
   storage::Disk& disk(net::NodeId node) { return *disks_.at(node); }
   std::uint64_t next_disk_stream(net::NodeId node) {
@@ -202,6 +234,12 @@ class Cloud {
   sim::Task<> provision_base_image();
   bool provisioned() const { return base_uploaded_; }
   blob::BlobId base_blob() const { return base_blob_; }
+  /// The base image as uploaded into zone `zone`'s store (federation
+  /// uploads one copy per zone so fresh instances clone — and later commit
+  /// — zone-locally). Falls back to the zone-0 blob for unknown zones.
+  blob::BlobId base_blob(std::uint32_t zone) const {
+    return zone < base_blobs_.size() ? base_blobs_[zone] : base_blob_;
+  }
   const std::string& base_pvfs_path() const { return base_pvfs_path_; }
   std::uint64_t image_size() const { return cfg_.os.image_size; }
 
@@ -250,17 +288,23 @@ class Cloud {
   std::vector<std::unique_ptr<storage::Disk>> disks_;
   std::vector<storage::StreamIdAllocator> streams_;
   std::unique_ptr<blob::BlobStore> blob_;
-  /// Declared after blob_: destroyed first, while the store (whose reclaim
-  /// hook references it) never fires hooks during its own destruction.
+  /// Zones 1..N-1 of a federated repository (zone 0 is blob_, so every
+  /// pre-federation caller keeps working against it).
+  std::vector<std::unique_ptr<blob::BlobStore>> zone_stores_;
+  /// Declared after the stores: destroyed first, while the stores (whose
+  /// reclaim hooks reference them) never fire hooks during destruction.
   std::unique_ptr<reduce::ChunkDigestIndex> shared_index_;
   /// Same ordering contract as shared_index_.
   std::unique_ptr<redundancy::Manager> redundancy_;
+  /// Same ordering contract (holds one reclaim hook per zone store).
+  std::unique_ptr<federation::Fabric> federation_;
   std::unique_ptr<pfs::PvfsCluster> pvfs_;
   std::unordered_map<net::NodeId, std::unique_ptr<DecodedChunkCache>>
       chunk_caches_;
   common::SparseFile base_content_;
   bool base_uploaded_ = false;
   blob::BlobId base_blob_ = 0;
+  std::vector<blob::BlobId> base_blobs_;  // per zone (federation)
   std::string base_pvfs_path_;
   std::uint64_t deployment_seq_ = 0;
   net::TenantId pvfs_tenant_seq_ = 0;  // fallback ids for non-BlobCR backends
@@ -359,8 +403,12 @@ class Deployment {
   redundancy::Manager* redundancy() { return cloud_->redundancy(); }
   /// Deployment-wide reduction pipeline (nullptr when reduction is off or
   /// the backend is not BlobCR). Shared by all mirroring modules, like the
-  /// prefetch bus, so dedup works across ranks and snapshot versions.
-  reduce::Reducer* reducer() { return reducer_.get(); }
+  /// prefetch bus, so dedup works across ranks and snapshot versions. With
+  /// federation there is one reducer per zone (dedup Refs stay zone-local);
+  /// this returns zone 0's.
+  reduce::Reducer* reducer() {
+    return reducers_.empty() ? nullptr : reducers_.front().get();
+  }
 
   /// True when the asynchronous commit pipeline runs on this deployment's
   /// mirroring modules (BlobCR backend with CloudConfig::flush enabled).
@@ -440,6 +488,9 @@ class Deployment {
   std::uint64_t boot_repo_bytes() const;
   std::uint64_t boot_peer_bytes() const;
   std::uint64_t boot_parity_bytes() const;
+  /// Bytes the restart data plane pulled from outside each reader's own
+  /// zone (subset of boot_repo_bytes; 0 without federation).
+  std::uint64_t boot_wan_bytes() const;
 
   /// Scavenge support (cr::Session::scavenge): best-effort recovery of one
   /// chunk's decoded payload from the peer tier — a surviving node's cache
@@ -471,6 +522,14 @@ class Deployment {
   sim::Task<> build_instance_from_plan(std::size_t i, net::NodeId node,
                                        const InstancePlan& plan);
   sim::Task<> boot_instance(std::size_t i);
+  /// The reducer matching a mirror's store: commits through a zone-z store
+  /// must reduce through the zone-z reducer, whose index lookups prefer —
+  /// and whose GC pins register in — that same zone.
+  reduce::Reducer* reducer_for_store(blob::BlobStore* store) {
+    if (reducers_.empty() || store == nullptr) return nullptr;
+    const std::uint32_t z = store->config().zone;
+    return reducers_[z < reducers_.size() ? z : 0].get();
+  }
 
   Cloud* cloud_;
   std::size_t count_;
@@ -483,7 +542,9 @@ class Deployment {
   sim::ProcessPtr restart_scheduler_;
   std::function<void(std::size_t)> restart_probe_;
   std::unique_ptr<PrefetchBus> bus_;
-  std::unique_ptr<reduce::Reducer> reducer_;
+  /// One reducer per zone (index 0 without federation): stats, epochs and
+  /// in-flight pins are per (deployment, zone).
+  std::vector<std::unique_ptr<reduce::Reducer>> reducers_;
   std::unique_ptr<mpi::MpiWorld> mpi_;
   std::vector<std::unique_ptr<Instance>> instances_;
 };

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "blob/spool.h"
+#include "federation/federation.h"
 #include "flush/flush_agent.h"
 #include "redundancy/manager.h"
 #include "sim/when_all.h"
@@ -45,7 +46,7 @@ MirrorDevice::MirrorDevice(blob::BlobStore& store, net::NodeId host,
   if (cfg_.flush.enabled) {
     flush_agent_ = std::make_unique<flush::FlushAgent>(
         store, client_, local_disk, disk_stream, reducer_, cfg_.flush,
-        cfg_.redundancy);
+        cfg_.redundancy, cfg_.federation);
   }
 }
 
@@ -185,8 +186,24 @@ sim::Task<> MirrorDevice::materialize_chunk(std::uint64_t clo,
       if (bus_ == nullptr || bus_->claim_repo_fetch(key)) {
         RepoClaimGuard claim{bus_, key, bus_ != nullptr};
         bool fetch_failed = false;
+        // Federated routing: a chunk in a dead zone or a zone other than
+        // this node's resolves through nearest-zone order (local replica,
+        // peer zone over the WAN class, origin). An in-zone chunk whose
+        // store is alive keeps the plain client fetch — with its full
+        // provider-replica fallback — untouched.
+        federation::Fabric* fed = cfg_.federation;
+        const bool fed_route =
+            fed != nullptr && fed->enabled() &&
+            (!fed->alive(loc->zone) ||
+             fed->zone_of_node(host_) != loc->zone);
         try {
-          data = co_await client_.fetch_decoded(*loc);
+          if (fed_route) {
+            auto fr = co_await fed->fetch_decoded(*loc, host_);
+            if (fr.wan) wan_bytes_fetched_ += fr.data.size();
+            data = std::move(fr.data);
+          } else {
+            data = co_await client_.fetch_decoded(*loc);
+          }
         } catch (...) {
           fetch_failed = true;
         }

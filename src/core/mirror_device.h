@@ -35,6 +35,9 @@
 #include "img/block_device.h"
 #include "storage/disk.h"
 
+namespace blobcr::federation {
+class Fabric;
+}
 namespace blobcr::flush {
 class FlushAgent;
 }
@@ -62,6 +65,11 @@ class MirrorDevice : public img::BlockDevice {
     /// fold into XOR groups across peers, and restart gains a parity-
     /// rebuild level between peer copy and repository fetch. nullptr = off.
     redundancy::Manager* redundancy = nullptr;
+    /// Multi-zone federation fabric: repository fetches whose chunk lives
+    /// in a dead or foreign zone route through nearest-zone resolution
+    /// (local replica, peer zone over the WAN class, origin). nullptr or a
+    /// single-zone fabric = plain in-zone fetches. nullptr = off.
+    federation::Fabric* federation = nullptr;
   };
 
   MirrorDevice(blob::BlobStore& store, net::NodeId host,
@@ -127,6 +135,10 @@ class MirrorDevice : public img::BlockDevice {
   std::uint64_t parity_bytes_rebuilt() const { return parity_bytes_rebuilt_; }
   /// Decoded bytes served by this node's shared chunk cache (no transfer).
   std::uint64_t cache_hit_bytes() const { return cache_hit_bytes_; }
+  /// Logical bytes whose repository fetch crossed a zone boundary (served
+  /// over the federation's WAN traffic class). Subset of
+  /// repo-fetched logical bytes, not an extra source.
+  std::uint64_t wan_bytes_fetched() const { return wan_bytes_fetched_; }
   /// Bytes of Zero holes materialized locally (no transfer, no payload).
   std::uint64_t zero_bytes_materialized() const { return zero_bytes_; }
   /// Raw (pre-reduction) payload of the last commit.
@@ -200,6 +212,7 @@ class MirrorDevice : public img::BlockDevice {
   std::uint64_t peer_bytes_fetched_ = 0;
   std::uint64_t parity_bytes_rebuilt_ = 0;
   std::uint64_t cache_hit_bytes_ = 0;
+  std::uint64_t wan_bytes_fetched_ = 0;
   std::uint64_t zero_bytes_ = 0;
   std::uint64_t last_commit_payload_ = 0;
   std::uint64_t last_commit_shipped_ = 0;

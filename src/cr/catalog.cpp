@@ -153,7 +153,8 @@ std::string Selector::describe() const {
 Catalog::Catalog(core::Cloud& cloud, Config cfg)
     : cloud_(&cloud), cfg_(std::move(cfg)) {
   if (cloud.blob_store() != nullptr) {
-    blob_client_ = std::make_unique<blob::BlobClient>(*cloud.blob_store(),
+    home_store_ = cloud.blob_store();
+    blob_client_ = std::make_unique<blob::BlobClient>(*home_store_,
                                                       cfg_.client_node);
     blob_client_->set_tenant(cfg_.tenant);
   } else {
@@ -273,11 +274,25 @@ Task<> Catalog::open() {
 
 Task<CheckpointRecord> Catalog::stage(CheckpointRecord rec) {
   co_await open();
+  // Per-tenant catalog-record ceiling: admission is checked before any
+  // durable write, so a rejected stage leaves the log untouched.
+  if (blob_client_ != nullptr && home_store_ != nullptr) {
+    const blob::BlobStore::TenantQuota& q =
+        home_store_->tenant_quota(cfg_.tenant);
+    if (q.max_catalog_records != 0 &&
+        records_.size() >= q.max_catalog_records) {
+      throw blob::QuotaExceededError(
+          "tenant " + std::to_string(cfg_.tenant) + " catalog quota (" +
+          std::to_string(q.max_catalog_records) +
+          " records) exhausted — retire checkpoints before staging more");
+    }
+  }
   rec.id = next_id_;
   rec.state = RecordState::Staged;
   rec.created = cloud_->now();
   Buffer frame = encode_frame(rec, 0);
   const Frame slot{end_, frame.size()};
+  Buffer replica = frame;
   co_await write_at(slot.offset, std::move(frame));
   // In-memory state follows the durable write (a caller killed mid-write
   // must leave the catalog exactly as the repository says).
@@ -285,6 +300,11 @@ Task<CheckpointRecord> Catalog::stage(CheckpointRecord rec) {
   end_ = slot.offset + slot.length;
   records_.push_back(rec);
   frames_.push_back(slot);
+  if (federation::Fabric* fed = cloud_->federation();
+      fed != nullptr && fed->enabled() && blob_client_ != nullptr) {
+    co_await fed->replicate_catalog(cfg_.name, rec.id, std::move(replica),
+                                    cfg_.client_node);
+  }
   co_return rec;
 }
 
@@ -293,8 +313,15 @@ Task<> Catalog::update(CheckpointRecord rec) {
   for (std::size_t i = 0; i < records_.size(); ++i) {
     if (records_[i].id != rec.id) continue;
     const Frame slot = frames_[i];
-    co_await write_at(slot.offset, encode_frame(rec, slot.length));
+    Buffer frame = encode_frame(rec, slot.length);
+    Buffer replica = frame;
+    co_await write_at(slot.offset, std::move(frame));
     records_[i] = std::move(rec);
+    if (federation::Fabric* fed = cloud_->federation();
+        fed != nullptr && fed->enabled() && blob_client_ != nullptr) {
+      co_await fed->replicate_catalog(cfg_.name, records_[i].id,
+                                      std::move(replica), cfg_.client_node);
+    }
     co_return;
   }
   throw CrError("update of unknown checkpoint record " +
@@ -373,8 +400,35 @@ Task<> Catalog::rebuild() {
 
 std::uint64_t Catalog::compact() {
   if (!blob_client_ || blob_id_ == 0 || blob_version_ <= 1) return 0;
-  blob::GarbageCollector gc(*cloud_->blob_store());
+  blob::GarbageCollector gc(*home_store_);
   return gc.collect(blob_id_, blob_version_).reclaimed_bytes;
+}
+
+Task<> Catalog::rehome_if_dead() {
+  federation::Fabric* fed = cloud_->federation();
+  if (blob_client_ == nullptr || fed == nullptr || !fed->enabled()) co_return;
+  if (fed->alive(home_store_->config().zone)) co_return;
+  // The home zone's store is gone: every chunk of the old log blob is
+  // unreachable, so rebind the client to a survivor *before* any read —
+  // open()'s read_all against dead providers would fail, not recover.
+  home_store_ = fed->store(fed->first_live_zone());
+  blob_client_ =
+      std::make_unique<blob::BlobClient>(*home_store_, cfg_.client_node);
+  blob_client_->set_tenant(cfg_.tenant);
+  blob_id_ = 0;
+  blob_version_ = 0;
+  if (!opened_) {
+    // A fresh driver after the loss never read the log. Recover the record
+    // set from the federation's replicated frames (id order == append
+    // order, so the reassembled log parses like the original).
+    Buffer log;
+    if (const auto* frames = fed->catalog_records(cfg_.name)) {
+      for (const auto& [id, frame] : *frames) log.append(frame);
+    }
+    parse_log(log);
+    opened_ = true;
+  }
+  co_await rebuild();
 }
 
 }  // namespace blobcr::cr

@@ -95,7 +95,17 @@ class Catalog {
   /// BlobCR backend only; requires an opened catalog.
   sim::Task<> rebuild();
 
+  /// Federated zone loss: when the catalog's home zone store is dead,
+  /// rebind to a surviving zone and rebuild the durable log there. A
+  /// never-opened catalog (fresh driver after the loss) recovers its record
+  /// set from the federation's replicated frames first, so survivors can
+  /// still list and restart every checkpoint. No-op when the home zone is
+  /// alive or federation is off.
+  sim::Task<> rehome_if_dead();
+
   blob::BlobId catalog_blob() const { return blob_id_; }
+  /// Store the durable log currently lives on (rehomes after zone loss).
+  blob::BlobStore* home_store() const { return home_store_; }
 
  private:
   struct Frame {
@@ -112,6 +122,7 @@ class Catalog {
   core::Cloud* cloud_;
   Config cfg_;
   bool opened_ = false;
+  blob::BlobStore* home_store_ = nullptr;  // where the log blob lives
 
   // Exactly one of the two persistence clients is used, by backend.
   std::unique_ptr<blob::BlobClient> blob_client_;

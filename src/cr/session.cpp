@@ -98,14 +98,16 @@ Task<CheckpointRecord> Session::publish_staged() {
   // A record is Complete only when every snapshot is *published*. Callers
   // must have drained first (the protocol's drain barrier / commit_last);
   // finding a still-pending version here means the line is not global.
-  blob::BlobStore* store = dep_->cloud().blob_store();
-  if (store != nullptr) {
+  if (dep_->cloud().blob_store() != nullptr) {
     for (const core::InstanceSnapshot& s : rec.snapshots) {
       if (s.backend != core::Backend::BlobCR || s.image == 0 ||
           s.version == 0) {
         continue;
       }
-      const blob::BlobMeta& meta = store->version_manager().peek(s.image);
+      // Commit affinity can land each instance's image in its own zone.
+      const blob::BlobMeta& meta =
+          dep_->cloud().store_of_blob(s.image)->version_manager().peek(
+              s.image);
       if (s.version > meta.versions.size() ||
           meta.version(s.version).pending) {
         co_await abandon_staged();
@@ -197,6 +199,11 @@ Task<> Session::clone_qcow_containers(core::RestartPlan& plan) {
 
 Task<CheckpointRecord> Session::restart(const Selector& sel,
                                         const RestartOptions& opts) {
+  // Zone loss first: if the catalog's home zone died, rebind it to a
+  // survivor (recovering the record set from replicated frames when this
+  // driver never opened the log) *before* any catalog read touches dead
+  // providers.
+  co_await catalog_.rehome_if_dead();
   co_await init_lineage();
   CheckpointRecord rec = co_await catalog_.select(sel);
   // Whatever was staged (by this session or a dead driver this catalog was
@@ -419,15 +426,18 @@ Task<std::uint64_t> Session::apply_retention() {
     // epoch-based concurrent collector: commits and drains of live jobs
     // keep flowing between the per-shard mark slices and erase batches
     // instead of stalling behind a full-store mark.
-    blob::GarbageCollector gc(*cloud.blob_store());
+    // Each image's GC runs against the store that owns it (federated
+    // deployments spread images across zone stores).
     for (const auto& [image, keep_from] : floor) {
       if (keep_from > 1) {
+        blob::GarbageCollector gc(*cloud.store_of_blob(image));
         reclaimed +=
             (co_await gc.collect_concurrent(image, keep_from)).reclaimed_bytes;
       }
     }
     for (const auto& [image, max_dropped] : drop_max) {
       if (floor.count(image) != 0) continue;
+      blob::GarbageCollector gc(*cloud.store_of_blob(image));
       reclaimed +=
           (co_await gc.collect_concurrent(image, max_dropped + 1))
               .reclaimed_bytes;

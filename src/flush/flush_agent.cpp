@@ -5,19 +5,22 @@
 #include <vector>
 
 #include "blob/spool.h"
+#include "federation/federation.h"
 
 namespace blobcr::flush {
 
 FlushAgent::FlushAgent(blob::BlobStore& store, blob::BlobClient& client,
                        storage::Disk& disk, std::uint64_t disk_stream,
                        blob::CommitReducer* reducer, const FlushConfig& cfg,
-                       redundancy::Manager* redundancy)
+                       redundancy::Manager* redundancy,
+                       federation::Fabric* federation)
     : store_(&store),
       client_(&client),
       disk_(&disk),
       stream_(disk_stream),
       reducer_(reducer),
       redundancy_(redundancy),
+      fed_(federation),
       cfg_(cfg),
       work_wq_(store.simulation()),
       done_wq_(store.simulation()) {
@@ -190,6 +193,16 @@ sim::Task<> FlushAgent::drain_one(StagedCommit c) {
       }
     }
     co_await redundancy_->encode_commit(client_->node(), std::move(protect));
+  }
+
+  // Cross-zone replication: the published version's manifest ships to every
+  // sibling zone (so survivors can adopt it after a zone loss) and the
+  // commit's chunks copy out floor-first, then popularity-ordered within
+  // the hot budget. Also after publish: a kill here leaves a published-but-
+  // unreplicated version, never a torn one.
+  if (fed_ != nullptr && fed_->enabled()) {
+    if (probe_) co_await probe_(blob::CommitStage::Replicate);
+    co_await fed_->replicate_commit(*client_, c.blob, v, c.ranges);
   }
   stats_.drain_time += store_->simulation().now() - c.staged_at;
 }

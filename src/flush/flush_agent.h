@@ -34,17 +34,24 @@
 #include "sim/sim.h"
 #include "storage/disk.h"
 
+namespace blobcr::federation {
+class Fabric;
+}
+
 namespace blobcr::flush {
 
 class FlushAgent {
  public:
   /// `redundancy` (optional): after each drain publishes, its committed
   /// chunks fold into the deployment's peer parity tier — the
-  /// CommitStage::ParityEncode boundary.
+  /// CommitStage::ParityEncode boundary. `federation` (optional): after
+  /// parity encode, the published version's manifest and hot chunks
+  /// replicate asynchronously to sibling zones — CommitStage::Replicate.
   FlushAgent(blob::BlobStore& store, blob::BlobClient& client,
              storage::Disk& disk, std::uint64_t disk_stream,
              blob::CommitReducer* reducer, const FlushConfig& cfg,
-             redundancy::Manager* redundancy = nullptr);
+             redundancy::Manager* redundancy = nullptr,
+             federation::Fabric* federation = nullptr);
   ~FlushAgent();
 
   FlushAgent(const FlushAgent&) = delete;
@@ -95,6 +102,7 @@ class FlushAgent {
   std::uint64_t stream_;
   blob::CommitReducer* reducer_;
   redundancy::Manager* redundancy_;
+  federation::Fabric* fed_;
   FlushConfig cfg_;
   blob::CommitProbe probe_;
 

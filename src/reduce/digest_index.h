@@ -111,28 +111,42 @@ class ChunkDigestIndex {
   }
 
   /// Location of an already-stored chunk with this content, or nullptr.
+  /// Serving is proximity-ordered: among the same-content copies on record,
+  /// one in `preferred_zone` wins; otherwise the first recorded copy serves
+  /// (the single-zone behavior). Federation correctness depends on this —
+  /// a dedup Ref resolved to a remote-zone copy would turn every later
+  /// restart fetch of that leaf into a wide-area pull even when the content
+  /// also lives locally.
   const blob::ChunkLocation* lookup(std::uint64_t digest,
-                                    std::uint32_t raw_size) const {
+                                    std::uint32_t raw_size,
+                                    std::uint32_t preferred_zone = 0) const {
     const Shard& shard = shards_[shard_of(digest, raw_size)];
     ++shard.stats.lookups;
     const auto it = shard.entries.find(Key{digest, raw_size});
     if (it == shard.entries.end()) return nullptr;
     ++shard.stats.hits;
-    if (epoch_open_) epoch_hits_.insert(it->second.front().id);
-    return &it->second.front();
+    const blob::ChunkLocation* best = &it->second.front();
+    for (const blob::ChunkLocation& l : it->second) {
+      if (l.zone == preferred_zone) {
+        best = &l;
+        break;
+      }
+    }
+    if (epoch_open_) epoch_hits_.insert(best->id);
+    return best;
   }
 
   /// lookup() through the owning shard's request queue (when attached):
   /// the simulated cost of taking that shard's lock under contention. Only
   /// the calling tenant's shard queue is entered — other shards keep
   /// serving concurrently.
-  sim::Task<const blob::ChunkLocation*> lookup_queued(net::TenantId tenant,
-                                                      std::uint64_t digest,
-                                                      std::uint32_t raw_size) {
+  sim::Task<const blob::ChunkLocation*> lookup_queued(
+      net::TenantId tenant, std::uint64_t digest, std::uint32_t raw_size,
+      std::uint32_t preferred_zone = 0) {
     if (!queues_.empty()) {
       co_await queues_[shard_of(digest, raw_size)]->process(tenant);
     }
-    co_return lookup(digest, raw_size);
+    co_return lookup(digest, raw_size, preferred_zone);
   }
 
   /// Records a stored chunk. Lookups serve the first recorded location, but

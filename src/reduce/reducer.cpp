@@ -87,10 +87,20 @@ sim::Task<blob::ReducedChunk> Reducer::reduce(net::NodeId node,
     // With shard queues attached the lookup pays its simulated cost at the
     // owning shard (per-tenant fair order); otherwise it is an in-process
     // peek, exactly the pre-sharding timing model.
+    // Proximity-ordered serving: of the same-content copies on record,
+    // prefer one in this store's own zone so dedup Refs (and the restart
+    // fetches they later imply) stay zone-local when possible.
+    const std::uint32_t zone = store_->config().zone;
     const blob::ChunkLocation* loc =
         index_->service_attached()
-            ? co_await index_->lookup_queued(tenant_, out.digest, raw_size)
-            : index_->lookup(out.digest, raw_size);
+            ? co_await index_->lookup_queued(tenant_, out.digest, raw_size,
+                                             zone)
+            : index_->lookup(out.digest, raw_size, zone);
+    // Dedup Refs stay zone-local: a Ref to a foreign zone's chunk would be
+    // invisible to that zone's GC mark (liveness is computed per store), so
+    // the owner could reclaim content this zone still needs. Cross-zone
+    // sharing is the federation replicator's job, not dedup's.
+    if (loc != nullptr && loc->zone != zone) loc = nullptr;
     if (loc != nullptr) {
       out.kind = blob::ReducedChunk::Kind::Ref;
       out.ref = *loc;

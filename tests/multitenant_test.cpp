@@ -271,6 +271,99 @@ TEST(MultiTenantTest, RetentionSweepNeverReclaimsAnotherTenantsChunks) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-tenant capacity ceilings: a resident-bytes quota refuses the commit
+// that would cross it (typed error, checked at admission before the commit
+// gate) and a catalog-records quota refuses staging past the record cap.
+// An unquota'd tenant sharing the repository is never affected.
+// ---------------------------------------------------------------------------
+
+TEST(MultiTenantTest, CapacityQuotasRefuseCommitAndCatalogOverage) {
+  Cloud cloud(repo_cfg(8));
+  bool bytes_quota_threw = false, catalog_quota_threw = false;
+  bool free_tenant_ok = false;
+  std::size_t rcap_records = 0;
+
+  cloud.run([](Cloud* cl, bool* bytes_quota_threw, bool* catalog_quota_threw,
+               bool* free_tenant_ok, std::size_t* rcap_records) -> Task<> {
+    co_await cl->provision_base_image();
+
+    // Three tenants: "bcap" with a resident-bytes ceiling, "rcap" with a
+    // catalog-records ceiling, "free" with none. (A checkpoint stages its
+    // catalog record before committing data, so the two ceilings are
+    // exercised on separate tenants to keep each refusal unambiguous.)
+    Deployment::Options bcap_opts{0, cl->register_tenant("bcap"),
+                                  std::nullopt};
+    Deployment::Options rcap_opts{1, cl->register_tenant("rcap"),
+                                  std::nullopt};
+    Deployment::Options free_opts{2, cl->register_tenant("free"),
+                                  std::nullopt};
+    cl->set_tenant_quota(bcap_opts.tenant, {/*max_resident_bytes=*/
+                                            2 * common::kMB,
+                                            /*max_catalog_records=*/0});
+    cl->set_tenant_quota(rcap_opts.tenant, {0, /*max_catalog_records=*/2});
+    Deployment dep_bcap(*cl, 1, bcap_opts);
+    Deployment dep_rcap(*cl, 1, rcap_opts);
+    Deployment dep_free(*cl, 1, free_opts);
+    cr::Session::Config sb, sr, sf;
+    sb.job = "bcap";
+    sr.job = "rcap";
+    sf.job = "free";
+    cr::Session ses_bcap(dep_bcap, sb);
+    cr::Session ses_rcap(dep_rcap, sr);
+    cr::Session ses_free(dep_free, sf);
+    co_await dep_bcap.deploy_and_boot();
+    co_await dep_rcap.deploy_and_boot();
+    co_await dep_free.deploy_and_boot();
+
+    // bcap: a small checkpoint fits; the commit that would push resident
+    // bytes past the ceiling is refused with the typed error at admission.
+    co_await dep_bcap.vm(0).fs()->write_file(
+        "/data/small.bin", Buffer::pattern(200'000, 0x51));
+    co_await dep_bcap.vm(0).fs()->sync();
+    (void)co_await ses_bcap.checkpoint();
+    co_await dep_bcap.vm(0).fs()->write_file(
+        "/data/big.bin", Buffer::pattern(4 * common::kMB, 0xb16));
+    co_await dep_bcap.vm(0).fs()->sync();
+    try {
+      (void)co_await ses_bcap.checkpoint("over-bytes");
+    } catch (const blob::QuotaExceededError&) {
+      *bytes_quota_threw = true;
+    }
+
+    // rcap: two records fit; the third stage is refused before any durable
+    // write, leaving the catalog untouched.
+    for (const std::uint64_t seed : {0x61ULL, 0x62ULL, 0x63ULL}) {
+      co_await dep_rcap.vm(0).fs()->write_file(
+          "/data/r.bin", Buffer::pattern(150'000, seed));
+      co_await dep_rcap.vm(0).fs()->sync();
+      try {
+        (void)co_await ses_rcap.checkpoint();
+      } catch (const blob::QuotaExceededError&) {
+        *catalog_quota_threw = true;
+      }
+    }
+    *rcap_records = (co_await ses_rcap.catalog().list()).size();
+
+    // The unquota'd tenant commits a dataset far past both ceilings
+    // without friction.
+    co_await dep_free.vm(0).fs()->write_file(
+        "/data/huge.bin", Buffer::pattern(4 * common::kMB, 0xf4ee));
+    co_await dep_free.vm(0).fs()->sync();
+    (void)co_await ses_free.checkpoint();
+    *free_tenant_ok = true;
+  }(&cloud, &bytes_quota_threw, &catalog_quota_threw, &free_tenant_ok,
+    &rcap_records));
+
+  EXPECT_TRUE(bytes_quota_threw)
+      << "resident-bytes ceiling never refused the oversized commit";
+  EXPECT_TRUE(catalog_quota_threw)
+      << "catalog-records ceiling never refused the third stage";
+  EXPECT_EQ(rcap_records, 2u)
+      << "a refused stage must leave the catalog untouched";
+  EXPECT_TRUE(free_tenant_ok);
+}
+
+// ---------------------------------------------------------------------------
 // Weighted-fair admission: a small tenant's single request overtakes a bulk
 // tenant's backlog at a fair gate; at a FIFO gate it waits out the backlog.
 // ---------------------------------------------------------------------------

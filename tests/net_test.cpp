@@ -163,6 +163,87 @@ TEST(FabricTest, TracksTotalBytes) {
   EXPECT_EQ(f.total_bytes(), 123u);
 }
 
+Task<> do_shaped(Simulation& s, Fabric& f, NodeId src, NodeId dst,
+                 std::uint64_t bytes, Fabric::Shape shape,
+                 std::vector<Time>& done) {
+  co_await f.transfer(src, dst, bytes, shape);
+  done.push_back(s.now());
+}
+
+// A shaped flow pays its traffic class's one-way latency instead of the
+// fabric default, and its rate never exceeds the class cap even when the
+// NIC fair share is larger (the WAN class the federation replicator uses).
+TEST(FabricShapeTest, ShapedTransferPaysClassLatencyAndRateCap) {
+  Simulation s;
+  Fabric f(s, test_cfg(2, 100.0, sim::milliseconds(5)));
+  std::vector<Time> done;
+  Fabric::Shape wan;
+  wan.latency = sim::milliseconds(100);
+  wan.rate_cap_bps = 10.0;
+  s.spawn("wan", do_shaped(s, f, 0, 1, 100, wan, done));
+  s.run();
+  ASSERT_EQ(done.size(), 1u);
+  // 100 ms class latency (not the 5 ms fabric default) + 100 B at 10 B/s.
+  EXPECT_NEAR(to_seconds(done[0]), 0.100 + 10.0, 1e-6);
+}
+
+// A zero class latency falls back to the fabric default; a cap above the
+// fair share is inert — the flow is NIC-limited as if unshaped.
+TEST(FabricShapeTest, ShapeDefaultsFallBackToFabricBehaviour) {
+  Simulation s;
+  Fabric f(s, test_cfg(2, 100.0, sim::milliseconds(5)));
+  std::vector<Time> done;
+  Fabric::Shape loose;
+  loose.rate_cap_bps = 1000.0;  // above the 100 B/s NIC: never binds
+  s.spawn("t", do_shaped(s, f, 0, 1, 200, loose, done));
+  s.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(to_seconds(done[0]), 0.005 + 2.0, 1e-6);
+}
+
+// Two asymmetric traffic classes on disjoint node pairs: a high-latency,
+// tightly capped WAN class and a low-latency peer class finish at the times
+// their own shapes dictate — neither inherits the other's parameters.
+TEST(FabricShapeTest, AsymmetricTrafficClassesCompleteIndependently) {
+  Simulation s;
+  Fabric f(s, test_cfg(5, 100.0, 0));
+  std::vector<Time> done_wan, done_peer;
+  Fabric::Shape wan;
+  wan.latency = sim::milliseconds(100);
+  wan.rate_cap_bps = 10.0;
+  Fabric::Shape peer;
+  peer.latency = sim::milliseconds(1);
+  peer.rate_cap_bps = 50.0;
+  s.spawn("wan", do_shaped(s, f, 0, 1, 100, wan, done_wan));
+  s.spawn("peer", do_shaped(s, f, 2, 3, 100, peer, done_peer));
+  s.run();
+  ASSERT_EQ(done_wan.size(), 1u);
+  ASSERT_EQ(done_peer.size(), 1u);
+  EXPECT_NEAR(to_seconds(done_wan[0]), 0.100 + 10.0, 1e-6);
+  EXPECT_NEAR(to_seconds(done_peer[0]), 0.001 + 2.0, 1e-6);
+}
+
+// Non-starvation: a long capped WAN flow sharing a tx port with an uncapped
+// local flow neither starves it nor is starved. The local flow keeps its
+// count-based fair share (cap/2) and finishes on schedule; the WAN flow
+// crawls along at its cap the whole time.
+TEST(FabricShapeTest, CappedWanFlowDoesNotStarveUncappedPeer) {
+  Simulation s;
+  Fabric f(s, test_cfg(3, 100.0, 0));
+  std::vector<Time> done_wan, done_local;
+  Fabric::Shape wan;
+  wan.rate_cap_bps = 10.0;
+  s.spawn("wan", do_shaped(s, f, 0, 1, 1000, wan, done_wan));
+  s.spawn("local", do_transfer(s, f, 0, 2, 100, done_local));
+  s.run();
+  ASSERT_EQ(done_wan.size(), 1u);
+  ASSERT_EQ(done_local.size(), 1u);
+  // Local: 100 B at the 50 B/s fair share -> 2 s, unaffected by the cap.
+  EXPECT_NEAR(to_seconds(done_local[0]), 2.0, 1e-3);
+  // WAN: 1000 B pinned at 10 B/s even after the port frees up -> 100 s.
+  EXPECT_NEAR(to_seconds(done_wan[0]), 100.0, 1e-2);
+}
+
 Task<> one_rpc(Simulation& s, Fabric& f, ServiceQueue& svc, NodeId client,
                std::vector<Time>& done) {
   co_await rpc(f, svc, client, 0, 100, 100);
