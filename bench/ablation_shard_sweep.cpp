@@ -179,6 +179,10 @@ Row run_config(std::size_t tenants, std::size_t shards) {
   cfg.manager_request_cost = 20 * sim::kMicrosecond;
   cfg.version_shards = shards;
   cfg.qos.enabled = true;  // fair dispatch at every shard queue
+  // Effectively unbounded commit gate (> max tenant count in the sweep):
+  // the shard queues stay the bottleneck under test while qos::Config's
+  // validation — enabled needs at least one bounded gate — is satisfied.
+  cfg.qos.commit_slots = 1024;
   blob::BlobStore store(sim, fabric, cfg);
 
   // The repository-scoped digest index, content-hash sharded, one fair

@@ -69,6 +69,11 @@ GATED_COUNTERS = {
     # covers the hot-beats-floor inequality and bit-exact restores.)
     "zone_loss_restart_s": ("zone-loss restart makespan [s]", 0.05),
     "cross_zone_mb": ("federation cross-zone traffic [MB]", 0.5),
+    # End-to-end QoS: the small tenant's tail latency on the commit and
+    # restart paths under a bulk mass-rollback storm. (`verified` covers the
+    # fair-beats-FIFO inequality on both axes at equal gate capacity.)
+    "small_job_p99_commit_s": ("small-job p99 commit blocked [s]", 0.02),
+    "small_job_p99_restart_s": ("small-job p99 restart [s]", 0.05),
 }
 # Throughput-style metrics gate one-sided the OTHER way: the fresh value
 # must not drop below (1 - tolerance) x baseline - slack. Getting faster
@@ -93,6 +98,7 @@ DEFAULT_FILES = [
     "BENCH_ablation_elastic.json",
     "BENCH_ablation_shard_sweep.json",
     "BENCH_ablation_federation.json",
+    "BENCH_ablation_qos_e2e.json",
 ]
 
 

@@ -91,6 +91,25 @@ Task<> job_body(Cloud* cloud, const MultiJobRun* run, std::size_t job_index,
     out->checkpoint_times.push_back(sim.now() - t0);
     out->blocked_times.push_back(
         *std::max_element(downtimes.begin(), downtimes.end()));
+
+    // Mid-job rollback cycle: tear down and cold-restart from the round
+    // just committed, back onto the job's own node range, then keep
+    // computing. Bulk jobs on the same cadence form the mass-rollback
+    // storm the restart-prefetch gate admits against live commits.
+    if (spec.restart_every > 0 && (round + 1) % spec.restart_every == 0 &&
+        round + 1 < spec.rounds) {
+      dep.destroy_all();
+      const sim::Time r0 = sim.now();
+      (void)co_await session.restart(cr::Selector::latest(), node_offset,
+                                     /*cold_caches=*/true);
+      for (std::size_t i = 0; i < spec.instances; ++i) {
+        const common::Buffer back =
+            co_await dep.vm(i).fs()->read_file("/data/buffer.bin");
+        out->verified = out->verified && back.size() == spec.buffer_bytes &&
+                        back.digest() == digests[i];
+      }
+      out->restart_times.push_back(sim.now() - r0);
+    }
     if (spec.think_time > 0) co_await sim.delay(spec.think_time);
   }
 
@@ -106,6 +125,7 @@ Task<> job_body(Cloud* cloud, const MultiJobRun* run, std::size_t job_index,
                       back.digest() == digests[i];
     }
     out->restart_time = sim.now() - t0;
+    out->restart_times.push_back(out->restart_time);
   }
 
   out->records = co_await session.list();
@@ -118,6 +138,8 @@ Task<> job_body(Cloud* cloud, const MultiJobRun* run, std::size_t job_index,
     out->raw_bytes = u.raw_bytes;
     out->shipped_bytes = u.shipped_bytes;
     out->commit_wait = u.commit_wait;
+    out->provider_wait = u.provider_wait;
+    out->prefetch_wait = u.prefetch_wait;
   }
 }
 

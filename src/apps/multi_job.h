@@ -46,6 +46,11 @@ struct TenantJobSpec {
   /// Tear down and restart from the job's own catalog at the end, verifying
   /// every instance's restored buffer bit for bit.
   bool do_restart = true;
+  /// Mid-job rollback cadence: after every `restart_every`-th round the job
+  /// tears down and cold-restarts from its latest checkpoint before
+  /// continuing (0 = off). Several bulk jobs on the same cadence form the
+  /// mass-rollback storm the restart-prefetch gate arbitrates.
+  int restart_every = 0;
 };
 
 struct MultiJobRun {
@@ -67,11 +72,16 @@ struct JobResult {
   std::vector<sim::Duration> checkpoint_times;
   std::vector<sim::Duration> blocked_times;
   sim::Duration restart_time = 0;
+  /// Every cold-restart makespan the job saw: the mid-job rollback cycles
+  /// (TenantJobSpec::restart_every) plus the final do_restart one.
+  std::vector<sim::Duration> restart_times;
   bool verified = true;
   /// Per-tenant repository accounting (see BlobStore::TenantUsage).
   std::uint64_t raw_bytes = 0;
   std::uint64_t shipped_bytes = 0;
   sim::Duration commit_wait = 0;
+  sim::Duration provider_wait = 0;
+  sim::Duration prefetch_wait = 0;
   std::uint64_t gc_reclaimed_bytes = 0;
   /// The job's own catalog lineage as its session lists it.
   std::vector<cr::CheckpointRecord> records;

@@ -45,6 +45,8 @@ void fill_tenant_counters(Cloud& cloud, Deployment& dep,
   result->tenant_raw_bytes = u.raw_bytes - base.raw_bytes;
   result->tenant_shipped_bytes = u.shipped_bytes - base.shipped_bytes;
   result->tenant_commit_wait = u.commit_wait - base.commit_wait;
+  result->tenant_provider_wait = u.provider_wait - base.provider_wait;
+  result->tenant_prefetch_wait = u.prefetch_wait - base.prefetch_wait;
 }
 
 }  // namespace

@@ -85,6 +85,10 @@ struct RunResult {
   std::uint64_t tenant_raw_bytes = 0;
   std::uint64_t tenant_shipped_bytes = 0;
   sim::Duration tenant_commit_wait = 0;
+  /// Queueing at the admission plane's data-path gates (provider-io and
+  /// restart-prefetch), same baseline-diff convention as above.
+  sim::Duration tenant_provider_wait = 0;
+  sim::Duration tenant_prefetch_wait = 0;
 };
 
 /// Elastic (N -> M) restart scenario: N workers each write a distinct data

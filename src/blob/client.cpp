@@ -230,13 +230,15 @@ sim::Task<VersionId> BlobClient::write_extents_via(
   }
 
   // Commit admission: one slot per in-flight commit/drain, held from here
-  // through publish. With QoS on the gate admits tenants weighted-fair, so
-  // a bulk tenant's backlog cannot starve a small tenant's commit; with the
-  // gate unbounded (single-tenant default) this is a no-op. The permit
-  // releases as this frame unwinds — including on drain kill.
+  // through publish. The admission plane admits tenants weighted-fair when
+  // QoS is on, so a bulk tenant's backlog cannot starve a small tenant's
+  // commit; with the gate unbounded (single-tenant default) this is a
+  // no-op. The permit releases as this frame unwinds — including on drain
+  // kill.
   const sim::Time admit_start = store_->simulation().now();
-  net::FairGate::Permit admission = co_await store_->commit_gate().enter(
-      tenant_, static_cast<double>(payload_bytes));
+  net::FairGate::Permit admission = co_await store_->admission().admit(
+      qos::IoContext{tenant_, qos::GateClass::Commit},
+      static_cast<double>(payload_bytes));
   (void)admission;
   store_->account_commit_wait(tenant_,
                               store_->simulation().now() - admit_start);
@@ -295,7 +297,9 @@ sim::Task<VersionId> BlobClient::write_extents_via(
             for (const net::NodeId replica : loc.replicas) {
               DataProvider* provider = self->store_->provider_at(replica);
               if (provider == nullptr) throw BlobError("no provider at node");
-              co_await provider->store(self->node_, loc.id, data);
+              co_await provider->store(
+                  self->node_, loc.id, data,
+                  qos::IoContext{self->tenant_, qos::GateClass::ProviderIo});
             }
           }(this, pieces[i], locs[i], reader));
     }
@@ -399,7 +403,9 @@ sim::Task<VersionId> BlobClient::write_extents_via(
             for (const net::NodeId replica : loc.replicas) {
               DataProvider* provider = self->store_->provider_at(replica);
               if (provider == nullptr) throw BlobError("no provider at node");
-              co_await provider->store(self->node_, loc.id, plan->payload);
+              co_await provider->store(
+                  self->node_, loc.id, plan->payload,
+                  qos::IoContext{self->tenant_, qos::GateClass::ProviderIo});
             }
             if (plan->index_on_commit) {
               red->committed(plan->digest, loc);
@@ -526,7 +532,8 @@ sim::Task<common::Buffer> BlobClient::fetch_chunk(const ChunkLocation& loc) {
     const net::NodeId replica = loc.replicas[(start + attempt) % n];
     DataProvider* provider = store_->provider_at(replica);
     if (provider == nullptr || !provider->has(loc.id)) continue;
-    co_return co_await provider->fetch(node_, loc.id);
+    co_return co_await provider->fetch(
+        node_, loc.id, qos::IoContext{tenant_, qos::GateClass::ProviderIo});
   }
   // The metadata lists where the replicas were at write time; after a node
   // loss the repair service may have re-homed the chunk. Ask the provider
@@ -536,7 +543,8 @@ sim::Task<common::Buffer> BlobClient::fetch_chunk(const ChunkLocation& loc) {
   for (const net::NodeId replica : current) {
     DataProvider* provider = store_->provider_at(replica);
     if (provider == nullptr || !provider->has(loc.id)) continue;
-    co_return co_await provider->fetch(node_, loc.id);
+    co_return co_await provider->fetch(
+        node_, loc.id, qos::IoContext{tenant_, qos::GateClass::ProviderIo});
   }
   throw BlobError("all replicas of chunk lost");
 }

@@ -2,6 +2,11 @@
 // Chunks arrive over the fabric and are appended to a per-provider log
 // (immutable data => log-structured => the disk stays near streaming rate
 // even with many concurrent writers; see storage/disk.h).
+//
+// Every store/fetch is tenant-tagged (qos::IoContext) and admitted at the
+// repository admission plane's provider-io gate before touching the fabric
+// or the disk, so weighted fairness holds when the provider pool — not the
+// commit gate — is the bottleneck.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +14,7 @@
 #include "blob/types.h"
 #include "common/buffer.h"
 #include "net/fabric.h"
+#include "qos/admission.h"
 #include "sim/sim.h"
 #include "storage/chunk_store.h"
 #include "storage/disk.h"
@@ -18,8 +24,10 @@ namespace blobcr::blob {
 class DataProvider {
  public:
   DataProvider(sim::Simulation& /*sim*/, net::Fabric& fabric, net::NodeId node,
-               storage::Disk& disk, std::uint64_t disk_stream)
-      : fabric_(&fabric), node_(node), store_(disk, disk_stream) {}
+               storage::Disk& disk, std::uint64_t disk_stream,
+               qos::AdmissionPlane* plane)
+      : fabric_(&fabric), node_(node), store_(disk, disk_stream),
+        plane_(plane) {}
 
   net::NodeId node() const { return node_; }
   bool alive() const { return alive_; }
@@ -40,8 +48,12 @@ class DataProvider {
   }
 
   /// Receives a chunk from `from` and persists it.
-  sim::Task<> store(net::NodeId from, ChunkId id, common::Buffer data) {
+  sim::Task<> store(net::NodeId from, ChunkId id, common::Buffer data,
+                    qos::IoContext ctx) {
     if (!alive_) throw BlobError("provider down");
+    net::FairGate::Permit permit =
+        co_await admit(ctx, static_cast<double>(data.size()));
+    (void)permit;
     ++pending_stores_;
     co_await fabric_->transfer(from, node_, data.size());
     if (!alive_) {
@@ -53,7 +65,12 @@ class DataProvider {
   }
 
   /// Reads a chunk and ships it to `to`.
-  sim::Task<common::Buffer> fetch(net::NodeId to, ChunkId id) {
+  sim::Task<common::Buffer> fetch(net::NodeId to, ChunkId id,
+                                  qos::IoContext ctx) {
+    if (!alive_ || !store_.has(id)) throw BlobError("chunk unavailable");
+    net::FairGate::Permit permit =
+        co_await admit(ctx, static_cast<double>(store_.size_of(id)));
+    (void)permit;
     if (!alive_ || !store_.has(id)) throw BlobError("chunk unavailable");
     common::Buffer data = co_await store_.get(id);
     co_await fabric_->transfer(node_, to, data.size());
@@ -63,7 +80,12 @@ class DataProvider {
   /// fetch() over a shaped traffic class (federation: wide-area pulls ride
   /// the WAN shape instead of the intra-deployment default).
   sim::Task<common::Buffer> fetch_shaped(net::NodeId to, ChunkId id,
-                                         net::Fabric::Shape shape) {
+                                         net::Fabric::Shape shape,
+                                         qos::IoContext ctx) {
+    if (!alive_ || !store_.has(id)) throw BlobError("chunk unavailable");
+    net::FairGate::Permit permit =
+        co_await admit(ctx, static_cast<double>(store_.size_of(id)));
+    (void)permit;
     if (!alive_ || !store_.has(id)) throw BlobError("chunk unavailable");
     common::Buffer data = co_await store_.get(id);
     co_await fabric_->transfer(node_, to, data.size(), shape);
@@ -73,7 +95,11 @@ class DataProvider {
   /// Lands an already-delivered payload on this provider's disk (no fabric
   /// transfer — the replicator moved the bytes itself, over its own traffic
   /// class, before handing them over).
-  sim::Task<> put_local(ChunkId id, common::Buffer data) {
+  sim::Task<> put_local(ChunkId id, common::Buffer data, qos::IoContext ctx) {
+    if (!alive_) throw BlobError("provider down");
+    net::FairGate::Permit permit =
+        co_await admit(ctx, static_cast<double>(data.size()));
+    (void)permit;
     if (!alive_) throw BlobError("provider down");
     ++pending_stores_;
     co_await store_.put(id, std::move(data));
@@ -89,9 +115,23 @@ class DataProvider {
   std::uint64_t lost_bytes() const { return lost_bytes_; }
 
  private:
+  /// Provider I/O always admits at the provider-io gate regardless of the
+  /// caller's class: a commit already holding a commit slot must not
+  /// re-enter the commit gate (self-deadlock under bounded slots), and the
+  /// permit order commit→provider / prefetch→provider stays acyclic.
+  sim::Task<net::FairGate::Permit> admit(qos::IoContext ctx, double cost) {
+    if (plane_ == nullptr) return empty_permit();
+    ctx.gate = qos::GateClass::ProviderIo;
+    return plane_->admit(ctx, cost);
+  }
+  static sim::Task<net::FairGate::Permit> empty_permit() {
+    co_return net::FairGate::Permit();
+  }
+
   net::Fabric* fabric_;
   net::NodeId node_;
   storage::ChunkStore store_;
+  qos::AdmissionPlane* plane_;
   bool alive_ = true;
   std::size_t pending_stores_ = 0;
   std::uint64_t lost_bytes_ = 0;

@@ -149,14 +149,17 @@ class RepairService {
     DataProvider* source = store_->provider_at(src);
     DataProvider* dest = store_->provider_at(dst);
     // Local read at the source (loopback), then one fabric hop src -> dst.
-    common::Buffer data = co_await source->fetch(src, id);
+    // Repair traffic rides the provider-io gate under the chunk's owning
+    // tenant, so scrub bursts are arbitrated like any other disk I/O.
+    const qos::IoContext ctx{tenant, qos::GateClass::ProviderIo};
+    common::Buffer data = co_await source->fetch(src, id, ctx);
     const std::uint64_t bytes = data.size();
     report->bytes_copied += bytes;
     Report::TenantRepair& tr = report->by_tenant[tenant];
     ++tr.copies;
     tr.bytes += bytes;
     store_->account_repair(tenant, 1, bytes);
-    co_await dest->store(src, id, std::move(data));
+    co_await dest->store(src, id, std::move(data), ctx);
   }
 
   BlobStore* store_;

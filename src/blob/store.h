@@ -19,6 +19,7 @@
 #include "blob/version_manager.h"
 #include "net/fabric.h"
 #include "net/qos.h"
+#include "qos/admission.h"
 #include "sim/sim.h"
 #include "storage/disk.h"
 
@@ -51,20 +52,21 @@ class BlobStore {
     /// queue per shard. 1 (default) is the single-daemon pre-sharding
     /// behavior; the tenant-scale sweep raises it.
     std::size_t version_shards = 1;
-    /// Multi-tenant admission control (see net/qos.h). qos.enabled turns on
-    /// weighted-fair ordering at the version/provider manager queues and the
-    /// commit gate; qos.commit_slots bounds concurrently admitted commits.
-    net::QosConfig qos;
+    /// Multi-tenant admission control (see qos/admission.h). qos.enabled
+    /// turns on weighted-fair ordering at the version/provider manager
+    /// queues and every admission-plane gate; the per-class slot counts
+    /// bound concurrently admitted commits, provider I/Os and prefetches.
+    qos::Config qos;
     /// Availability zone this store belongs to (federation::Fabric). Stamped
     /// into every ChunkLocation the store's clients commit.
     std::uint32_t zone = 0;
   };
 
   BlobStore(sim::Simulation& sim, net::Fabric& fabric, const Config& cfg)
-      : sim_(&sim), fabric_(&fabric), cfg_(cfg) {
+      : sim_(&sim), fabric_(&fabric), cfg_(cfg), plane_(sim, cfg.qos) {
     for (const auto& slot : cfg.data_providers) {
       providers_.push_back(std::make_unique<DataProvider>(
-          sim, fabric, slot.node, *slot.disk, slot.disk_stream));
+          sim, fabric, slot.node, *slot.disk, slot.disk_stream, &plane_));
       by_node_[slot.node] = providers_.back().get();
     }
     std::vector<DataProvider*> raw;
@@ -83,11 +85,9 @@ class BlobStore {
     version_manager_ = std::make_unique<VersionManager>(
         sim, fabric, cfg.version_manager_node, cfg.manager_request_cost,
         cfg.version_shards);
-    commit_gate_ = std::make_unique<net::FairGate>(
-        sim, cfg.qos.commit_slots, &tenants_, cfg.qos.enabled);
     if (cfg.qos.enabled) {
-      version_manager_->enable_fair(&tenants_);
-      provider_manager_->service().enable_fair(&tenants_);
+      version_manager_->enable_fair(&plane_.tenants());
+      provider_manager_->service().enable_fair(&plane_.tenants());
     }
   }
 
@@ -126,15 +126,17 @@ class BlobStore {
 
   // --- multi-tenant control plane -------------------------------------------
 
+  /// The repository's admission plane: the tenant table plus one
+  /// weighted-fair gate per admission class (commit, provider-io,
+  /// restart-prefetch). Every path that touches this repository is
+  /// admitted here with a tenant-tagged qos::IoContext.
+  qos::AdmissionPlane& admission() { return plane_; }
+  const qos::AdmissionPlane& admission() const { return plane_; }
+
   /// The repository-wide tenant table (identities + QoS weights). Tenant 0
   /// is the implicit default for single-job deployments.
-  net::TenantRegistry& tenants() { return tenants_; }
-  const net::TenantRegistry& tenants() const { return tenants_; }
-
-  /// The repository's commit admission gate: every synchronous commit and
-  /// every asynchronous drain holds one slot from reduction through publish.
-  /// Disabled (unbounded) unless Config::qos.commit_slots > 0.
-  net::FairGate& commit_gate() { return *commit_gate_; }
+  net::TenantRegistry& tenants() { return plane_.tenants(); }
+  const net::TenantRegistry& tenants() const { return plane_.tenants(); }
 
   /// Per-tenant repository usage, updated by BlobClient on the commit path.
   struct TenantUsage {
@@ -142,6 +144,10 @@ class BlobStore {
     std::uint64_t raw_bytes = 0;      // pre-reduction commit payload
     std::uint64_t shipped_bytes = 0;  // post-reduction payload stored
     sim::Duration commit_wait = 0;    // admission wait at shared queues
+    /// Queueing at the admission plane's data-path gates (filled by
+    /// tenant_usage_snapshot from the gates' per-tenant clocks).
+    sim::Duration provider_wait = 0;  // provider-io gate
+    sim::Duration prefetch_wait = 0;  // restart-prefetch gate
     /// Re-replication done on this tenant's behalf (RepairService scrubs
     /// charge each restored copy to the chunk's owning tenant).
     std::uint64_t repair_copies = 0;
@@ -159,12 +165,15 @@ class BlobStore {
            version_manager_->tenant_wait(t) +
            provider_manager_->service().tenant_wait(t);
   }
-  /// tenant_usage with commit_wait widened to the full queue wait above —
-  /// the snapshot drivers capture after provisioning and diff at job end,
-  /// so reported per-job counters cover exactly that job's commits.
+  /// tenant_usage with commit_wait widened to the full queue wait above and
+  /// the data-path gate waits filled from the admission plane — the
+  /// snapshot drivers capture after provisioning and diff at job end, so
+  /// reported per-job counters cover exactly that job's commits.
   TenantUsage tenant_usage_snapshot(net::TenantId t) const {
     TenantUsage u = tenant_usage(t);
     u.commit_wait = tenant_queue_wait(t);
+    u.provider_wait = plane_.wait(qos::GateClass::ProviderIo, t);
+    u.prefetch_wait = plane_.wait(qos::GateClass::RestartPrefetch, t);
     return u;
   }
   void account_commit_wait(net::TenantId t, sim::Duration wait) {
@@ -258,8 +267,9 @@ class BlobStore {
   sim::Simulation* sim_;
   net::Fabric* fabric_;
   Config cfg_;
-  /// Declared before the managers: their fair queues hold registry pointers.
-  net::TenantRegistry tenants_;
+  /// Declared before the providers and managers: the providers hold a
+  /// plane pointer and the managers' fair queues hold registry pointers.
+  qos::AdmissionPlane plane_;
   std::unordered_map<net::TenantId, TenantUsage> usage_;
   std::unordered_map<net::TenantId, TenantQuota> quotas_;
   std::vector<std::unique_ptr<DataProvider>> providers_;
@@ -267,7 +277,6 @@ class BlobStore {
   std::unique_ptr<MetadataCluster> metadata_;
   std::unique_ptr<ProviderManager> provider_manager_;
   std::unique_ptr<VersionManager> version_manager_;
-  std::unique_ptr<net::FairGate> commit_gate_;
   ChunkId next_chunk_id_ = 1;
   NodeRef next_node_ref_ = 1;
   std::vector<std::pair<std::uint64_t, ChunkReclaimHook>> reclaim_hooks_;

@@ -30,6 +30,20 @@ const char* backend_name(Backend b) {
 // --- Cloud -------------------------------------------------------------------
 
 Cloud::Cloud(CloudConfig cfg) : cfg_(std::move(cfg)) {
+  // Deprecated-alias resolution: a non-default CloudConfig::
+  // restart_prefetch_budget forwards into the admission plane's config,
+  // but only when qos.restart_prefetch_budget itself was left at its
+  // default (the new knob wins when both are set).
+  {
+    constexpr std::uint64_t kDefaultBudget = 64 * common::kMB;
+    if (cfg_.restart_prefetch_budget != kDefaultBudget &&
+        cfg_.qos.restart_prefetch_budget == kDefaultBudget) {
+      cfg_.qos.restart_prefetch_budget = cfg_.restart_prefetch_budget;
+    }
+  }
+  // Incoherent QoS setups fail here for every backend (the BlobCR stores
+  // validate again when their admission planes construct).
+  cfg_.qos.validate();
   // Node layout: [0, C) compute nodes, then service nodes. With federation
   // the compute pool splits into Z contiguous zone slabs and each zone gets
   // its own service-node set; Z == 1 reproduces the classic layout (and
@@ -723,10 +737,10 @@ void Deployment::spawn_restart_scheduler() {
   // restore instead of serializing inside the restart window.
   const CloudConfig& cfg = cloud_->config();
   if (cfg.backend == Backend::BlobCR && cfg.adaptive_prefetch &&
-      cfg.restart_prefetch_budget > 0) {
+      cfg.qos.restart_prefetch_budget > 0) {
     restart_scheduler_ = cloud_->simulation().spawn(
         "restart-scheduler",
-        bus_->schedule_restart_prefetch(cfg.restart_prefetch_budget));
+        bus_->schedule_restart_prefetch(cfg.qos.restart_prefetch_budget));
   }
 }
 

@@ -31,6 +31,7 @@
 #include "net/fabric.h"
 #include "pfs/pvfs.h"
 #include "pfs/pvfs_store.h"
+#include "qos/admission.h"
 #include "redundancy/parity.h"
 #include "reduce/reduction.h"
 #include "sim/sim.h"
@@ -70,11 +71,12 @@ struct CloudConfig {
   /// Snapshot data-reduction pipeline on the commit path (BlobCR backend
   /// only). Off by default; see src/reduce/reduction.h for the knobs.
   reduce::ReductionConfig reduction;
-  /// Multi-tenant admission control at the repository's shared services
-  /// (BlobCR backend only): weighted-fair per-tenant ordering at the
-  /// version/provider manager queues and a bounded commit gate. Off (FIFO,
-  /// unbounded commits) by default; see net/qos.h.
-  net::QosConfig qos;
+  /// End-to-end QoS (BlobCR backend only): weighted-fair per-tenant
+  /// ordering at the version/provider manager queues and the repository's
+  /// admission plane (commit, provider-io and restart-prefetch gates), all
+  /// configured here. Off (FIFO, unbounded) by default; see
+  /// src/qos/admission.h.
+  qos::Config qos;
   /// Version-manager shards (BlobCR backend only): blob version-slot table
   /// by blob-id hash, named-blob registry by name hash, one request queue
   /// per shard. 1 = the single-daemon pre-sharding behavior.
@@ -105,8 +107,9 @@ struct CloudConfig {
   /// Per-compute-node decoded-chunk cache (shared by all mirroring modules
   /// on the node; backs the peer exchange). 0 disables.
   std::uint64_t chunk_cache_bytes = 512 * common::kMB;
-  /// Per-instance byte budget for the popularity-ordered background
-  /// prefetch a restart kicks off (0 disables the restart scheduler).
+  /// Deprecated alias: forwards into qos.restart_prefetch_budget (the
+  /// admission plane owns all QoS knobs now). A non-default value here
+  /// wins only when the qos field was left at its default.
   std::uint64_t restart_prefetch_budget = 64 * common::kMB;
   sim::Duration proxy_auth_cost = 500 * sim::kMicrosecond;
 

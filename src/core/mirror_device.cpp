@@ -198,7 +198,9 @@ sim::Task<> MirrorDevice::materialize_chunk(std::uint64_t clo,
              fed->zone_of_node(host_) != loc->zone);
         try {
           if (fed_route) {
-            auto fr = co_await fed->fetch_decoded(*loc, host_);
+            auto fr = co_await fed->fetch_decoded(
+                *loc, host_,
+                qos::IoContext{cfg_.tenant, qos::GateClass::ProviderIo});
             if (fr.wan) wan_bytes_fetched_ += fr.data.size();
             data = std::move(fr.data);
           } else {
@@ -434,15 +436,28 @@ void MirrorDevice::hint(std::uint64_t offset, std::uint64_t len) {
 
 sim::Task<> MirrorDevice::prefetch_worker(std::uint64_t begin,
                                           std::uint64_t end) {
+  // Repository-wide admission first: a mass rollback's prefetch storm
+  // queues at the admission plane's restart-prefetch gate alongside live
+  // commits. The permit is RAII-held across the fetch — the destructor
+  // kills prefetchers_ at teardown, and a leaked permit would wedge the
+  // next deployment's restart against this store.
+  net::FairGate::Permit admission = co_await store_->admission().admit(
+      qos::IoContext{cfg_.tenant, qos::GateClass::RestartPrefetch},
+      static_cast<double>(end - begin));
+  (void)admission;
+  // Local stream bound, released through the same RAII pattern as
+  // ServiceQueue::process — a plain release() after the co_await would
+  // leak the slot whenever the worker is killed mid-fetch.
   co_await prefetch_slots_->acquire();
-  bool failed = false;
+  struct Slot {
+    sim::Semaphore* slots;
+    ~Slot() { slots->release(); }
+  } slot{prefetch_slots_.get()};
   try {
     co_await ensure_available(begin, end, /*announce=*/false);
   } catch (...) {
-    failed = true;  // backing unavailable: demand path will surface it
+    // Backing unavailable: the demand path will surface it.
   }
-  (void)failed;
-  prefetch_slots_->release();
 }
 
 sim::Task<std::vector<blob::BlobClient::ChunkRef>>

@@ -127,9 +127,12 @@ sim::Task<bool> Fabric::replicate_chunk(blob::ChunkLocation loc,
     }
   }
   if (target == nullptr) co_return false;
+  // Background replication runs as the default tenant: it competes at the
+  // provider-io gates like any other disk I/O, but no job is charged.
+  const qos::IoContext ctx{net::kDefaultTenant, qos::GateClass::ProviderIo};
   common::Buffer data =
-      co_await src->fetch_shaped(target->node(), loc.id, wan_shape());
-  co_await target->put_local(loc.id, std::move(data));
+      co_await src->fetch_shaped(target->node(), loc.id, wan_shape(), ctx);
+  co_await target->put_local(loc.id, std::move(data), ctx);
   // Re-lookup after the awaits: the directory may have rehashed, and a
   // racing copy of the same chunk may have landed first.
   std::vector<Replica>& entry = replicas_[loc.id];
@@ -253,7 +256,7 @@ struct Candidate {
 }  // namespace
 
 sim::Task<std::optional<Fabric::FetchResult>> Fabric::try_fetch(
-    blob::ChunkLocation loc, net::NodeId dst) {
+    qos::IoContext ctx, blob::ChunkLocation loc, net::NodeId dst) {
   if (loc.id == 0 || loc.encoding == blob::ChunkEncoding::Zero) {
     co_return FetchResult{common::Buffer::zeros(loc.logical()), false};
   }
@@ -289,9 +292,10 @@ sim::Task<std::optional<Fabric::FetchResult>> Fabric::try_fetch(
     try {
       common::Buffer data;
       if (wan) {
-        data = co_await c.provider->fetch_shaped(dst, loc.id, wan_shape());
+        data = co_await c.provider->fetch_shaped(dst, loc.id, wan_shape(),
+                                                 ctx);
       } else {
-        data = co_await c.provider->fetch(dst, loc.id);
+        data = co_await c.provider->fetch(dst, loc.id, ctx);
       }
       if (wan) wan_fetch_bytes_ += loc.size;
       co_return FetchResult{
@@ -305,8 +309,8 @@ sim::Task<std::optional<Fabric::FetchResult>> Fabric::try_fetch(
 }
 
 sim::Task<Fabric::FetchResult> Fabric::fetch_decoded(
-    const blob::ChunkLocation& loc, net::NodeId dst) {
-  std::optional<FetchResult> got = co_await try_fetch(loc, dst);
+    const blob::ChunkLocation& loc, net::NodeId dst, qos::IoContext ctx) {
+  std::optional<FetchResult> got = co_await try_fetch(ctx, loc, dst);
   if (got.has_value()) co_return std::move(*got);
   // Content-addressed last resort: the same bytes may live under another
   // ChunkId in a live zone (a sibling zone's rank committed identical
@@ -316,7 +320,7 @@ sim::Task<Fabric::FetchResult> Fabric::fetch_decoded(
     const blob::ChunkLocation* alt =
         index_->lookup(loc.digest, loc.logical(), zone_of_node(dst));
     if (alt != nullptr && alt->id != loc.id) {
-      got = co_await try_fetch(*alt, dst);
+      got = co_await try_fetch(ctx, *alt, dst);
       if (got.has_value()) co_return std::move(*got);
     }
   }

@@ -47,6 +47,7 @@
 #include "common/buffer.h"
 #include "common/rangeset.h"
 #include "net/fabric.h"
+#include "qos/admission.h"
 #include "sim/sim.h"
 
 namespace blobcr::reduce {
@@ -153,8 +154,10 @@ class Fabric {
   /// nearest zone holding the content: local zone -> sibling-zone replica
   /// (WAN) -> origin zone (WAN) -> digest-index content fallback. Throws
   /// BlobError when no live zone holds it.
+  /// `ctx` tags the pull with the restarting tenant; every provider touch
+  /// (local or WAN) is admitted at that zone's provider-io gate under it.
   sim::Task<FetchResult> fetch_decoded(const blob::ChunkLocation& loc,
-                                       net::NodeId dst);
+                                       net::NodeId dst, qos::IoContext ctx);
 
   // --- zone-loss restart failover ------------------------------------------
 
@@ -231,7 +234,8 @@ class Fabric {
   /// One fetch attempt over a fixed location, walking local-zone copies,
   /// then sibling-zone replicas (WAN), then the origin zone. nullopt when
   /// no live copy of this exact chunk remains.
-  sim::Task<std::optional<FetchResult>> try_fetch(blob::ChunkLocation loc,
+  sim::Task<std::optional<FetchResult>> try_fetch(qos::IoContext ctx,
+                                                  blob::ChunkLocation loc,
                                                   net::NodeId dst);
   /// A live provider currently holding `loc` (origin replicas first, then
   /// the cross-zone directory); sets *src_zone. nullptr when every copy is

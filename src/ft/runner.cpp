@@ -487,6 +487,10 @@ Task<> ft_driver(Cloud* cloud, const FtJobConfig* cfg, FtReport* report) {
     report->tenant_shipped_bytes =
         usage.shipped_bytes - usage_base.shipped_bytes;
     report->tenant_commit_wait = usage.commit_wait - usage_base.commit_wait;
+    report->tenant_provider_wait =
+        usage.provider_wait - usage_base.provider_wait;
+    report->tenant_prefetch_wait =
+        usage.prefetch_wait - usage_base.prefetch_wait;
   }
   report->ckpt_blocked = st->ckpt_blocked;
   report->completed = !gave_up && completed >= cfg->total_work;

@@ -136,6 +136,10 @@ struct FtReport {
   std::uint64_t tenant_raw_bytes = 0;
   std::uint64_t tenant_shipped_bytes = 0;
   sim::Duration tenant_commit_wait = 0;
+  /// Queueing at the admission plane's provider-io / restart-prefetch
+  /// gates, same baseline-diff convention.
+  sim::Duration tenant_provider_wait = 0;
+  sim::Duration tenant_prefetch_wait = 0;
   std::vector<EpochRecord> epochs;
 
   /// Useful-work fraction of the makespan, in (0, 1].

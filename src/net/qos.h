@@ -39,17 +39,9 @@ namespace blobcr::net {
 using TenantId = std::uint32_t;
 inline constexpr TenantId kDefaultTenant = 0;
 
-/// Admission policy knobs for one repository (copied from CloudConfig into
-/// BlobStore::Config).
-struct QosConfig {
-  /// Weighted-fair ordering at the shared service queues (version manager,
-  /// provider manager) and the commit gate. Off = FIFO everywhere.
-  bool enabled = false;
-  /// Commits/drains admitted concurrently at the repository's commit gate
-  /// (each synchronous commit and each asynchronous drain holds one slot
-  /// from reduction through publish). 0 = unbounded (gate bypassed).
-  std::size_t commit_slots = 0;
-};
+// Admission policy knobs live in qos::Config (src/qos/admission.h), which
+// owns per-gate slot counts for the whole admission plane; net::QosConfig
+// survives there as a deprecated alias.
 
 class TenantRegistry {
  public:

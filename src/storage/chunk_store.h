@@ -42,6 +42,13 @@ class ChunkStore {
     return entries_.find(chunk_id) != entries_.end();
   }
 
+  /// Payload size of a stored chunk (0 when absent) — the admission cost a
+  /// fetch charges before the disk read runs.
+  std::uint64_t size_of(std::uint64_t chunk_id) const {
+    const auto it = entries_.find(chunk_id);
+    return it == entries_.end() ? 0 : it->second.data.size();
+  }
+
   /// Drops a chunk's payload (garbage collection). Space accounting shrinks;
   /// the log hole is assumed reusable after compaction.
   bool erase(std::uint64_t chunk_id) {
